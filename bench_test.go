@@ -1,0 +1,178 @@
+// Package geniex_bench holds one benchmark per paper table/figure plus
+// microbenchmarks of the load-bearing kernels. Benchmarks run the
+// experiments at tiny scale so `go test -bench=.` completes in
+// minutes; use cmd/experiments -scale quick|full for faithful
+// reproductions.
+package geniex_bench
+
+import (
+	"testing"
+
+	"geniex/internal/core"
+	"geniex/internal/dataset"
+	"geniex/internal/experiments"
+	"geniex/internal/funcsim"
+	"geniex/internal/linalg"
+	"geniex/internal/models"
+	"geniex/internal/xbar"
+)
+
+// benchCtx builds a fresh tiny-scale experiment context per benchmark
+// so cached CNNs/surrogates don't leak between measurements.
+func benchCtx() *experiments.Context {
+	return experiments.NewContext(experiments.TinyScale(), nil)
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := benchCtx()
+		if _, err := e.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2a reproduces Fig. 2(a): ideal vs non-ideal currents.
+func BenchmarkFig2a(b *testing.B) { runExperiment(b, "2a") }
+
+// BenchmarkFig2b reproduces Fig. 2(b): NF vs crossbar size.
+func BenchmarkFig2b(b *testing.B) { runExperiment(b, "2b") }
+
+// BenchmarkFig2c reproduces Fig. 2(c): NF vs ON resistance.
+func BenchmarkFig2c(b *testing.B) { runExperiment(b, "2c") }
+
+// BenchmarkFig2d reproduces Fig. 2(d): NF vs ON/OFF ratio.
+func BenchmarkFig2d(b *testing.B) { runExperiment(b, "2d") }
+
+// BenchmarkFig3 reproduces Fig. 3: non-linearity vs supply voltage.
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "3") }
+
+// BenchmarkFig5 reproduces Fig. 5: NF RMSE of GENIEx vs analytical.
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "5") }
+
+// BenchmarkFig7a reproduces Fig. 7(a): accuracy vs crossbar size.
+func BenchmarkFig7a(b *testing.B) { runExperiment(b, "7a") }
+
+// BenchmarkFig7b reproduces Fig. 7(b): accuracy vs ON resistance.
+func BenchmarkFig7b(b *testing.B) { runExperiment(b, "7b") }
+
+// BenchmarkFig7c reproduces Fig. 7(c): accuracy vs ON/OFF ratio.
+func BenchmarkFig7c(b *testing.B) { runExperiment(b, "7c") }
+
+// BenchmarkFig7d reproduces Fig. 7(d): analytical vs GENIEx accuracy.
+func BenchmarkFig7d(b *testing.B) { runExperiment(b, "7d") }
+
+// BenchmarkFig8 reproduces Fig. 8: accuracy vs operand precision.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "8") }
+
+// BenchmarkFig9 reproduces Fig. 9: accuracy vs stream/slice widths.
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "9") }
+
+// BenchmarkTable3 prints the simulator parameter inventory.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// --- Microbenchmarks of the kernels the experiments are built on ---
+
+// BenchmarkCircuitSolve16 measures one full non-linear circuit solve
+// of a 16×16 crossbar (the HSPICE-substitute inner loop).
+func BenchmarkCircuitSolve16(b *testing.B) {
+	benchmarkCircuitSolve(b, 16)
+}
+
+// BenchmarkCircuitSolve32 measures a 32×32 solve.
+func BenchmarkCircuitSolve32(b *testing.B) {
+	benchmarkCircuitSolve(b, 32)
+}
+
+func benchmarkCircuitSolve(b *testing.B, n int) {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = n, n
+	rng := linalg.NewRNG(1)
+	g := linalg.NewDense(n, n)
+	for i := range g.Data {
+		g.Data[i] = cfg.ConductanceFromLevel(rng.Float64())
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = cfg.Vsupply * rng.Float64()
+	}
+	xb, err := xbar.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := xb.Program(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xb.Solve(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGENIExForward measures batched surrogate inference with a
+// cached conductance context (the functional simulator's hot path).
+func BenchmarkGENIExForward(b *testing.B) {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = 16, 16
+	model, err := core.NewModel(cfg, 128, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := linalg.NewRNG(2)
+	g := linalg.NewDense(16, 16)
+	for i := range g.Data {
+		g.Data[i] = cfg.ConductanceFromLevel(rng.Float64())
+	}
+	ctx := model.NewGContext(g)
+	v := linalg.NewDense(64, 16)
+	for i := range v.Data {
+		v.Data[i] = cfg.Vsupply * rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.PredictWithContext(v, ctx)
+	}
+}
+
+// BenchmarkFuncsimConvLayer measures one conv2d-mvm layer through the
+// ideal pipeline (tiling + bit slicing + ADC + shift-add).
+func BenchmarkFuncsimConvLayer(b *testing.B) {
+	set := dataset.SynthCIFAR(8, 8, 1)
+	net := models.MiniConvNet(set, 8, 2)
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = 16, 16
+	eng, err := funcsim.NewEngine(cfg, funcsim.Ideal{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := funcsim.Lower(net, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Forward(set.TestX); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatasetGeneration measures labelled (V, G, fR) sample
+// production (circuit solves dominate).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = 8, 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(cfg, core.GenOptions{Samples: 16, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

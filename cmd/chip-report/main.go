@@ -1,0 +1,90 @@
+// Command chip-report maps a CNN onto crossbar tiles and prints the
+// architecture inventory (tiles, utilization, area, weight storage)
+// plus a per-inference energy/latency estimate.
+//
+// Example:
+//
+//	chip-report -dataset cifar -channels 8 -size 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geniex/internal/arch"
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/models"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chip-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dsName  = flag.String("dataset", "cifar", "dataset: cifar or imagenet")
+		size    = flag.Int("size", 16, "crossbar (tile) size")
+		chans   = flag.Int("channels", 8, "CNN width")
+		arch_   = flag.String("model", "resnet", "CNN family: resnet, vgg or convnet")
+		images  = flag.Int("images", 8, "images to run for the energy estimate")
+		streams = flag.Int("streams", 4, "input stream width (bits)")
+		slices  = flag.Int("slices", 4, "weight slice width (bits)")
+	)
+	flag.Parse()
+
+	var set *dataset.Set
+	switch *dsName {
+	case "cifar":
+		set = dataset.SynthCIFAR(*images, *images, 1)
+	case "imagenet":
+		set = dataset.SynthImageNet(*images, *images, 1)
+	default:
+		return fmt.Errorf("unknown dataset %q", *dsName)
+	}
+	var net = models.MiniResNet(set, *chans, 2)
+	switch *arch_ {
+	case "resnet":
+	case "vgg":
+		net = models.MiniVGG(set, *chans, 2)
+	case "convnet":
+		net = models.MiniConvNet(set, *chans, 2)
+	default:
+		return fmt.Errorf("unknown model family %q", *arch_)
+	}
+
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = *size, *size
+	cfg.StreamBits, cfg.SliceBits = *streams, *slices
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	rep, err := arch.MapNetwork(net, cfg, arch.DefaultAreaModel())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+
+	eng, err := funcsim.NewEngine(cfg, funcsim.Ideal{})
+	if err != nil {
+		return err
+	}
+	sim, err := funcsim.Lower(net, eng)
+	if err != nil {
+		return err
+	}
+	if _, err := sim.Forward(set.TestX); err != nil {
+		return err
+	}
+	stats := sim.Stats()
+	cost := funcsim.DefaultEnergyModel().Estimate(stats, cfg)
+	n := float64(set.TestX.Rows)
+	fmt.Printf("\nworkload (%d images): %s\n", set.TestX.Rows, stats)
+	fmt.Printf("per image: %.2f µJ, %.2f ms\n", cost.Energy/n*1e6, cost.Latency/n*1e3)
+	return nil
+}

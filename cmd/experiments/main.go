@@ -1,0 +1,124 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig 5 -scale quick
+//	experiments -all -scale quick -out results.txt
+//
+// Scales: tiny (seconds), quick (minutes, default), full (hours,
+// approaches the paper's 64×64 / 500-hidden configuration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"geniex/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		fig    = flag.String("fig", "", "experiment ID to run (e.g. 2b, 5, 7a, table3)")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.String("scale", "quick", "scale: tiny, quick or full")
+		out    = flag.String("out", "", "also write results to this file")
+		csvDir = flag.String("csv", "", "also write one CSV per experiment into this directory")
+		quiet  = flag.Bool("q", false, "suppress progress logging")
+		seed   = flag.Uint64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "tiny":
+		sc = experiments.TinyScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	sc.Seed = *seed
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+	var log io.Writer
+	if !*quiet {
+		log = os.Stderr
+	}
+	ctx := experiments.NewContext(sc, log)
+
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		toRun = experiments.All()
+	case *fig != "":
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			toRun = append(toRun, e)
+		}
+	default:
+		return fmt.Errorf("nothing to do: pass -fig <id>[,<id>...], -all or -list")
+	}
+
+	fmt.Fprintf(sink, "# GENIEx experiments — scale=%s seed=%d\n\n", sc.Name, sc.Seed)
+	for _, e := range toRun {
+		start := time.Now()
+		table, err := e.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		table.Fprint(sink)
+		fmt.Fprintf(sink, "  [%s in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "fig"+e.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := table.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

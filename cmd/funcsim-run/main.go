@@ -1,0 +1,157 @@
+// Command funcsim-run trains a CNN on one of the synthetic datasets
+// and evaluates it through the functional simulator under a chosen
+// analog crossbar model, reporting top-1 accuracy — one point of the
+// paper's Figs. 7–9.
+//
+// Example:
+//
+//	funcsim-run -dataset cifar -mode geniex -size 16 -streams 4 -slices 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geniex/internal/core"
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/models"
+	"geniex/internal/quant"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "funcsim-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dsName    = flag.String("dataset", "cifar", "dataset: cifar or imagenet")
+		mode      = flag.String("mode", "geniex", "analog model: ideal, analytical, geniex or circuit")
+		size      = flag.Int("size", 16, "crossbar (tile) size")
+		vdd       = flag.Float64("vdd", 0.25, "supply voltage (volts)")
+		ron       = flag.Float64("ron", 100e3, "ON resistance (ohms)")
+		onoff     = flag.Float64("onoff", 6, "conductance ON/OFF ratio")
+		bits      = flag.Int("bits", 16, "weight/activation precision")
+		streams   = flag.Int("streams", 4, "input stream width (bits)")
+		slices    = flag.Int("slices", 4, "weight slice width (bits)")
+		adc       = flag.Int("adc", 14, "ADC bits")
+		nTrain    = flag.Int("train", 1500, "training images")
+		nTest     = flag.Int("test", 200, "test images")
+		epochs    = flag.Int("epochs", 10, "CNN training epochs")
+		chans     = flag.Int("channels", 8, "CNN width")
+		geniexM   = flag.String("geniex-model", "", "load a pretrained GENIEx model (gob) instead of training one")
+		calibrate = flag.Bool("calibrate", false, "apply per-column gain calibration to the analog model")
+		noise     = flag.Float64("noise", 0, "read-noise sigma as a fraction of full-scale current")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var set *dataset.Set
+	switch *dsName {
+	case "cifar":
+		set = dataset.SynthCIFAR(*nTrain, *nTest, *seed+10)
+	case "imagenet":
+		set = dataset.SynthImageNet(*nTrain, *nTest, *seed+20)
+	default:
+		return fmt.Errorf("unknown dataset %q", *dsName)
+	}
+
+	simCfg := funcsim.DefaultConfig()
+	simCfg.Xbar.Rows, simCfg.Xbar.Cols = *size, *size
+	simCfg.Xbar.Vsupply = *vdd
+	simCfg.Xbar.Ron = *ron
+	simCfg.Xbar.OnOffRatio = *onoff
+	simCfg.Weight = quant.FxP{Bits: *bits, Frac: *bits - 3}
+	simCfg.Act = quant.FxP{Bits: *bits, Frac: *bits - 3}
+	simCfg.StreamBits, simCfg.SliceBits = *streams, *slices
+	simCfg.ADCBits = *adc
+	if err := simCfg.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("training MiniResNet on %s (%d images, %d epochs)...\n", set.Name, *nTrain, *epochs)
+	net := models.MiniResNet(set, *chans, *seed+30)
+	if err := models.Train(net, set, models.TrainConfig{
+		Epochs: *epochs, BatchSize: 32, LR: 0.05, Seed: *seed + 40, Verbose: os.Stderr,
+	}); err != nil {
+		return err
+	}
+	floatAcc := models.TestAccuracy(net, set, 64)
+	fmt.Printf("float32 accuracy: %.2f%%\n", 100*floatAcc)
+
+	var model funcsim.Model
+	switch *mode {
+	case "ideal":
+		model = funcsim.Ideal{}
+	case "analytical":
+		model = funcsim.Analytical{Cfg: simCfg.Xbar}
+	case "circuit":
+		model = funcsim.Circuit{Cfg: simCfg.Xbar}
+	case "geniex":
+		var gx *core.Model
+		if *geniexM != "" {
+			var err error
+			if gx, err = core.LoadModelFile(*geniexM); err != nil {
+				return err
+			}
+			if gx.Cfg.Rows != *size {
+				return fmt.Errorf("loaded GENIEx model is %dx%d, need %dx%d",
+					gx.Cfg.Rows, gx.Cfg.Cols, *size, *size)
+			}
+		} else {
+			fmt.Println("training GENIEx surrogate for the design point...")
+			ds, err := core.Generate(simCfg.Xbar, core.GenOptions{
+				Samples:    500,
+				StreamBits: *streams, SliceBits: *slices,
+				Sparsities: []float64{0, 0.25, 0.5, 0.75, 0.9, 0.97},
+				Seed:       *seed + 50,
+			})
+			if err != nil {
+				return err
+			}
+			if gx, err = core.NewModel(simCfg.Xbar, 128, *seed+60); err != nil {
+				return err
+			}
+			if err := gx.Train(ds, core.TrainOptions{Epochs: 150, Seed: *seed + 70}); err != nil {
+				return err
+			}
+		}
+		model = funcsim.GENIEx{Model: gx}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *noise > 0 {
+		model = &funcsim.Noisy{
+			Inner: model, Sigma: *noise,
+			FullScale: float64(simCfg.Xbar.Rows) * simCfg.Xbar.Vsupply * simCfg.Xbar.Gon(),
+			Seed:      *seed + 80,
+		}
+	}
+	if *calibrate {
+		model = funcsim.Calibrated{Inner: model, Seed: *seed + 90, Xbar: simCfg.Xbar}
+	}
+
+	fmt.Printf("evaluating through the functional simulator (%s mode, %s)...\n",
+		model.Name(), simCfg.Xbar.String())
+	eng, err := funcsim.NewEngine(simCfg, model)
+	if err != nil {
+		return err
+	}
+	sim, err := funcsim.Lower(net, eng)
+	if err != nil {
+		return err
+	}
+	for _, line := range sim.Describe() {
+		fmt.Println("  ", line)
+	}
+	acc, err := models.Accuracy(sim.Forward, set.TestX, set.TestY, 32)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crossbar accuracy: %.2f%%  (degradation %.2f%%)\n", 100*acc, 100*(floatAcc-acc))
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command geniex-train generates a (V, G, fR) dataset with the
+// circuit-level solver, trains a GENIEx surrogate on it, reports the
+// Fig. 5 fidelity comparison against the analytical model, and
+// optionally saves the trained model for later use with funcsim-run.
+//
+// Example:
+//
+//	geniex-train -size 16 -vdd 0.25 -samples 500 -hidden 128 -o geniex16.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geniex/internal/core"
+	"geniex/internal/xbar"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geniex-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		size     = flag.Int("size", 16, "crossbar rows = cols")
+		ron      = flag.Float64("ron", 100e3, "ON resistance (ohms)")
+		onoff    = flag.Float64("onoff", 6, "conductance ON/OFF ratio")
+		vdd      = flag.Float64("vdd", 0.25, "supply voltage (volts)")
+		samples  = flag.Int("samples", 500, "training samples (circuit solves)")
+		hidden   = flag.Int("hidden", 128, "hidden layer width (paper: 500)")
+		epochs   = flag.Int("epochs", 150, "training epochs")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output path for the trained model (gob)")
+		saveData = flag.String("save-data", "", "also save the generated dataset (gob)")
+		loadData = flag.String("load-data", "", "load a previously saved dataset instead of generating")
+		verbose  = flag.Bool("v", false, "log per-epoch training loss")
+	)
+	flag.Parse()
+
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = *size, *size
+	cfg.Ron = *ron
+	cfg.OnOffRatio = *onoff
+	cfg.Vsupply = *vdd
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	fmt.Println("design point:", cfg.String())
+
+	var ds *core.Dataset
+	if *loadData != "" {
+		var err error
+		if ds, err = core.LoadDatasetFile(*loadData); err != nil {
+			return err
+		}
+		cfg = ds.Cfg
+		fmt.Printf("loaded %d samples from %s (design point %s)\n", ds.Len(), *loadData, cfg.String())
+	} else {
+		fmt.Printf("generating %d labelled samples with the circuit solver...\n", *samples)
+		var err error
+		if ds, err = core.Generate(cfg, core.GenOptions{Samples: *samples, Seed: *seed}); err != nil {
+			return err
+		}
+		if *saveData != "" {
+			if err := ds.SaveFile(*saveData); err != nil {
+				return err
+			}
+			fmt.Println("dataset saved to", *saveData)
+		}
+	}
+	train, val := ds.Split(0.2, *seed+1)
+
+	model, err := core.NewModel(cfg, *hidden, *seed+2)
+	if err != nil {
+		return err
+	}
+	opts := core.TrainOptions{Epochs: *epochs, BatchSize: 32, LR: 1.5e-3, Seed: *seed + 3}
+	if *verbose {
+		opts.Verbose = os.Stderr
+	}
+	fmt.Printf("training GENIEx (%d -> %d -> %d) for %d epochs...\n",
+		cfg.Rows+cfg.Rows*cfg.Cols, *hidden, cfg.Cols, *epochs)
+	if err := model.Train(train, opts); err != nil {
+		return err
+	}
+
+	gx := core.Evaluate(model, val)
+	ana := core.Evaluate(core.AnalyticalAdapter{Cfg: cfg}, val)
+	fmt.Printf("held-out NF RMSE:  GENIEx %.4f  analytical %.4f  (%.1fx better)\n",
+		gx.RMSENF, ana.RMSENF, ana.RMSENF/gx.RMSENF)
+	fmt.Printf("held-out fR RMSE:  GENIEx %.4f  analytical %.4f\n", gx.RMSERatio, ana.RMSERatio)
+
+	if *out != "" {
+		if err := model.SaveFile(*out); err != nil {
+			return err
+		}
+		fmt.Println("model saved to", *out)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Design-space exploration: how the non-ideality factor of a crossbar
+// varies with array size, ON resistance and conductance ON/OFF ratio —
+// the circuit-level analysis of Fig. 2 of the paper.
+//
+// Run with: go run ./examples/design_space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geniex/internal/linalg"
+	"geniex/internal/xbar"
+)
+
+// meanNF samples random workloads on a design point and returns the
+// average non-ideality factor.
+func meanNF(cfg xbar.Config, samples int, seed uint64) float64 {
+	rng := linalg.NewRNG(seed)
+	xb, err := xbar.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for s := 0; s < samples; s++ {
+		g := linalg.NewDense(cfg.Rows, cfg.Cols)
+		for i := range g.Data {
+			g.Data[i] = cfg.ConductanceFromLevel(rng.Float64())
+		}
+		v := make([]float64, cfg.Rows)
+		for i := range v {
+			v[i] = cfg.Vsupply * rng.Float64()
+		}
+		if err := xb.Program(g); err != nil {
+			log.Fatal(err)
+		}
+		sol, err := xb.Solve(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range xbar.NF(xbar.IdealCurrents(v, g), sol.Currents, cfg) {
+			sum += f
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func main() {
+	const samples = 20
+
+	fmt.Println("mean NF vs crossbar size (Fig 2b):")
+	for _, size := range []int{8, 16, 32} {
+		cfg := xbar.DefaultConfig()
+		cfg.Rows, cfg.Cols = size, size
+		fmt.Printf("  %2dx%-2d  NF = %.4f\n", size, size, meanNF(cfg, samples, 1))
+	}
+
+	fmt.Println("mean NF vs ON resistance (Fig 2c):")
+	for _, ron := range []float64{50e3, 100e3, 300e3} {
+		cfg := xbar.DefaultConfig()
+		cfg.Rows, cfg.Cols = 16, 16
+		cfg.Ron = ron
+		fmt.Printf("  %3.0fkΩ  NF = %.4f\n", ron/1e3, meanNF(cfg, samples, 2))
+	}
+
+	fmt.Println("mean NF vs ON/OFF ratio (Fig 2d):")
+	for _, ratio := range []float64{2, 6, 10} {
+		cfg := xbar.DefaultConfig()
+		cfg.Rows, cfg.Cols = 16, 16
+		cfg.OnOffRatio = ratio
+		fmt.Printf("  %4.0f   NF = %.4f\n", ratio, meanNF(cfg, samples, 3))
+	}
+
+	fmt.Println("\ntakeaway: small arrays, high Ron and high ON/OFF ratios minimize non-ideality.")
+}

@@ -1,0 +1,79 @@
+// Hardware-aware retraining: deploy a float-trained CNN onto a harsh
+// crossbar design point, observe the accuracy loss, then fine-tune
+// with the non-ideal hardware inside the training loop (straight-
+// through estimator) and watch the accuracy come back — the mitigation
+// workflow the paper's modeling enables.
+//
+// Run with: go run ./examples/retraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/hwtrain"
+	"geniex/internal/linalg"
+	"geniex/internal/models"
+	"geniex/internal/nn"
+	"geniex/internal/quant"
+)
+
+func main() {
+	set := dataset.SynthCIFAR(700, 150, 1)
+
+	// A BatchNorm-free CNN (hwtrain requires the training-time and
+	// deployment-time hardware views to match; see the package doc).
+	r := linalg.NewRNG(2)
+	g1 := nn.ConvGeom{InC: set.C, InH: set.H, InW: set.W, OutC: 8, Kernel: 3, Stride: 1, Pad: 1}
+	g2 := nn.ConvGeom{InC: 8, InH: set.H / 2, InW: set.W / 2, OutC: 8, Kernel: 3, Stride: 1, Pad: 1}
+	net := nn.NewSequential(
+		nn.NewConv2D(g1, true, r),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(8, set.H, set.W, 2),
+		nn.NewConv2D(g2, true, r),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool2D(8, set.H/2, set.W/2),
+		nn.NewLinear(8, set.Classes, true, r),
+	)
+	fmt.Println("training the float baseline...")
+	if err := models.Train(net, set, models.TrainConfig{Epochs: 12, BatchSize: 32, LR: 0.05, Seed: 3}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("float accuracy: %.1f%%\n", 100*models.TestAccuracy(net, set, 64))
+
+	// A deliberately harsh design point.
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = 8, 8
+	cfg.Xbar.Ron = 25e3
+	cfg.Xbar.OnOffRatio = 2
+	cfg.Xbar.Rwire = 25
+	cfg.Weight = quant.FxP{Bits: 8, Frac: 4}
+	cfg.Act = quant.FxP{Bits: 8, Frac: 4}
+	cfg.StreamBits, cfg.SliceBits = 2, 2
+	eng, err := funcsim.NewEngine(cfg, funcsim.Analytical{Cfg: cfg.Xbar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hwAcc := func() float64 {
+		sim, err := funcsim.Lower(net, eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := models.Accuracy(sim.Forward, set.TestX, set.TestY, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return acc
+	}
+	fmt.Printf("crossbar accuracy before retraining: %.1f%%\n", 100*hwAcc())
+
+	fmt.Println("fine-tuning with the hardware in the loop (3 epochs)...")
+	if err := hwtrain.FineTune(net, eng, set, hwtrain.Options{
+		Epochs: 3, BatchSize: 32, LR: 0.002, Seed: 5,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crossbar accuracy after retraining:  %.1f%%\n", 100*hwAcc())
+}

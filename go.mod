@@ -1,0 +1,3 @@
+module geniex
+
+go 1.22

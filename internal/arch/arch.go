@@ -1,0 +1,164 @@
+// Package arch models the accelerator architecture that hosts the
+// crossbars: how a network's MVM workload maps onto physical tiles,
+// and what the resulting chip costs in area and storage. Together with
+// funcsim's event counters (energy, latency) this provides the
+// "architecture model of MVM" axis the paper's Table 1 uses to
+// position GENIEx against CxDNN, CrossSim and NeuroSim.
+//
+// The constants are representative of ISAAC/PUMA-class designs; the
+// experiments consume ratios between configurations, which are robust
+// to the absolute calibration.
+package arch
+
+import (
+	"fmt"
+
+	"geniex/internal/funcsim"
+	"geniex/internal/nn"
+	"geniex/internal/quant"
+)
+
+// AreaModel holds per-component silicon area constants (mm²).
+type AreaModel struct {
+	// CellArea is one crossbar cell including its access device (mm²).
+	CellArea float64
+	// DriverArea is one word-line driver / DAC (mm²).
+	DriverArea float64
+	// ADCArea is one converter (mm²); a converter is shared by
+	// ADCShare columns through a mux.
+	ADCArea  float64
+	ADCShare int
+	// ShiftAddArea and AccArea are the digital merge units per column
+	// (mm²).
+	ShiftAddArea, AccArea float64
+}
+
+// DefaultAreaModel returns representative 32nm-class constants.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		CellArea:     1e-7, // 0.1 µm²/cell (1T1R)
+		DriverArea:   5e-6,
+		ADCArea:      3e-4, // SAR ADC
+		ADCShare:     8,
+		ShiftAddArea: 6e-6,
+		AccArea:      6e-6,
+	}
+}
+
+// TileArea returns the area of one crossbar tile with its periphery
+// for the given simulator configuration.
+func (a AreaModel) TileArea(cfg funcsim.Config) float64 {
+	rows, cols := cfg.Xbar.Rows, cfg.Xbar.Cols
+	adcs := (cols + a.ADCShare - 1) / a.ADCShare
+	return float64(rows*cols)*a.CellArea +
+		float64(rows)*a.DriverArea +
+		float64(adcs)*a.ADCArea +
+		float64(cols)*(a.ShiftAddArea+a.AccArea)
+}
+
+// LayerMapping describes how one MVM layer occupies the chip.
+type LayerMapping struct {
+	Name string
+	// In and Out are the logical matrix dimensions.
+	In, Out int
+	// TileRows and TileCols tile the matrix; Slices is per sign.
+	TileRows, TileCols, Slices int
+	// Crossbars is the physical crossbar count (positive + negative
+	// magnitude planes, all slices).
+	Crossbars int
+	// Utilization is the fraction of programmed cells holding real
+	// weights (vs padding).
+	Utilization float64
+	// MVMsPerInput is the number of logical MVM vectors one input
+	// example generates (spatial positions for convolutions, 1 for
+	// dense layers).
+	MVMsPerInput int
+}
+
+// ChipReport aggregates a whole network's mapping.
+type ChipReport struct {
+	Layers []LayerMapping
+	// Crossbars is the total physical crossbar count.
+	Crossbars int
+	// Area is the estimated silicon area (mm²) of all mapped tiles.
+	Area float64
+	// WeightBits is the total programmed weight storage (bits,
+	// counting both magnitude planes).
+	WeightBits int64
+}
+
+// MapNetwork computes the chip mapping of a trained network under a
+// simulator configuration and area model. It mirrors funcsim.Lower's
+// structural decisions (BatchNorm folding does not change shapes, so
+// it is ignored here).
+func MapNetwork(net *nn.Sequential, cfg funcsim.Config, area AreaModel) (*ChipReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &ChipReport{}
+	if err := mapInto(rep, net, cfg); err != nil {
+		return nil, err
+	}
+	for _, l := range rep.Layers {
+		rep.Crossbars += l.Crossbars
+	}
+	// Each crossbar stores SliceBits per cell.
+	rep.WeightBits = int64(rep.Crossbars) * int64(cfg.Xbar.Rows*cfg.Xbar.Cols) * int64(cfg.SliceBits)
+	rep.Area = float64(rep.Crossbars) * area.TileArea(cfg)
+	return rep, nil
+}
+
+func mapInto(rep *ChipReport, net *nn.Sequential, cfg funcsim.Config) error {
+	for _, layer := range net.Layers {
+		switch l := layer.(type) {
+		case *nn.Conv2D:
+			rep.Layers = append(rep.Layers, mapMatrix(
+				fmt.Sprintf("conv %dx%dx%d k%d", l.Geom.InC, l.Geom.InH, l.Geom.InW, l.Geom.Kernel),
+				l.Geom.PatchSize(), l.Geom.OutC, l.Geom.OutH()*l.Geom.OutW(), cfg))
+		case *nn.Linear:
+			rep.Layers = append(rep.Layers, mapMatrix(
+				fmt.Sprintf("linear %dx%d", l.In, l.Out), l.In, l.Out, 1, cfg))
+		case *nn.Residual:
+			if err := mapInto(rep, l.Body, cfg); err != nil {
+				return err
+			}
+		case *nn.Sequential:
+			if err := mapInto(rep, l, cfg); err != nil {
+				return err
+			}
+		case *nn.ReLU, *nn.Flatten, *nn.MaxPool2D, *nn.GlobalAvgPool2D, *nn.BatchNorm:
+			// Digital layers occupy no crossbars.
+		default:
+			return fmt.Errorf("arch: cannot map layer of type %T", l)
+		}
+	}
+	return nil
+}
+
+// mapMatrix computes the mapping of one in×out matrix. The crossbar
+// count conservatively assumes both magnitude planes are allocated
+// (trained weights are almost never single-signed).
+func mapMatrix(name string, in, out, mvms int, cfg funcsim.Config) LayerMapping {
+	n, m := cfg.Xbar.Rows, cfg.Xbar.Cols
+	tr := (in + n - 1) / n
+	tc := (out + m - 1) / m
+	slices := quant.NumDigits(cfg.Weight.Bits-1, cfg.SliceBits)
+	return LayerMapping{
+		Name: name, In: in, Out: out,
+		TileRows: tr, TileCols: tc, Slices: slices,
+		Crossbars:    tr * tc * slices * 2,
+		Utilization:  float64(in*out) / float64(tr*tc*n*m),
+		MVMsPerInput: mvms,
+	}
+}
+
+// String renders the report.
+func (r *ChipReport) String() string {
+	s := fmt.Sprintf("chip: %d crossbars, %.3f mm², %.1f Mb weight storage\n",
+		r.Crossbars, r.Area, float64(r.WeightBits)/1e6)
+	for _, l := range r.Layers {
+		s += fmt.Sprintf("  %-24s %4dx%-4d tiles %dx%d x%d slices x2 signs  util %.0f%%  %d MVM/input\n",
+			l.Name, l.In, l.Out, l.TileRows, l.TileCols, l.Slices, 100*l.Utilization, l.MVMsPerInput)
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/linalg"
+	"geniex/internal/models"
+	"geniex/internal/nn"
+)
+
+func testCfg(tile int) funcsim.Config {
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = tile, tile
+	return cfg
+}
+
+func TestTileArea(t *testing.T) {
+	a := DefaultAreaModel()
+	small := a.TileArea(testCfg(16))
+	big := a.TileArea(testCfg(64))
+	if small <= 0 || big <= small {
+		t.Errorf("tile areas implausible: 16->%v 64->%v", small, big)
+	}
+}
+
+func TestMapMatrixCounts(t *testing.T) {
+	cfg := testCfg(16) // 16-bit weights, 4-bit slices → 4 slices per sign
+	m := mapMatrix("m", 20, 10, 1, cfg)
+	if m.TileRows != 2 || m.TileCols != 1 {
+		t.Fatalf("tiles %dx%d, want 2x1", m.TileRows, m.TileCols)
+	}
+	if m.Slices != 4 {
+		t.Fatalf("slices = %d, want 4", m.Slices)
+	}
+	if m.Crossbars != 2*1*4*2 {
+		t.Fatalf("crossbars = %d, want 16", m.Crossbars)
+	}
+	wantUtil := float64(20*10) / float64(2*1*16*16)
+	if m.Utilization != wantUtil {
+		t.Fatalf("utilization = %v, want %v", m.Utilization, wantUtil)
+	}
+}
+
+func TestMapNetwork(t *testing.T) {
+	set := dataset.SynthCIFAR(4, 4, 1)
+	net := models.MiniResNet(set, 8, 2)
+	rep, err := MapNetwork(net, testCfg(16), DefaultAreaModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Layers) == 0 || rep.Crossbars == 0 || rep.Area <= 0 || rep.WeightBits <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	// The report must include the residual blocks' convolutions.
+	convs := 0
+	for _, l := range rep.Layers {
+		if strings.HasPrefix(l.Name, "conv") {
+			convs++
+		}
+	}
+	if convs < 3 {
+		t.Errorf("only %d convolutions mapped; residual bodies missed?", convs)
+	}
+	if s := rep.String(); !strings.Contains(s, "crossbars") {
+		t.Error("report string malformed")
+	}
+}
+
+// Mapping onto a larger tile must not increase the crossbar count.
+func TestLargerTilesNeedFewerCrossbars(t *testing.T) {
+	set := dataset.SynthCIFAR(4, 4, 1)
+	net := models.MiniResNet(set, 8, 2)
+	rep16, err := MapNetwork(net, testCfg(16), DefaultAreaModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep64, err := MapNetwork(net, testCfg(64), DefaultAreaModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep64.Crossbars >= rep16.Crossbars {
+		t.Errorf("crossbars: 64-tile %d not below 16-tile %d", rep64.Crossbars, rep16.Crossbars)
+	}
+	// But utilization drops with big tiles on small layers.
+	if rep64.Layers[0].Utilization >= rep16.Layers[0].Utilization {
+		t.Errorf("utilization should drop with tile size: %v vs %v",
+			rep64.Layers[0].Utilization, rep16.Layers[0].Utilization)
+	}
+}
+
+// Mapping must agree with the lowering engine's physical crossbar
+// count (mapping assumes both sign planes; lowering may drop an unused
+// negative plane, so lowering's count is at most the mapped count).
+func TestMappingConsistentWithLowering(t *testing.T) {
+	r := linalg.NewRNG(3)
+	net := nn.NewSequential(nn.NewLinear(20, 10, true, r))
+	cfg := testCfg(16)
+	rep, err := MapNetwork(net, cfg, DefaultAreaModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := funcsim.NewEngine(cfg, funcsim.Ideal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := eng.Lower(net.Layers[0].(*nn.Linear).Weight.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Crossbars() > rep.Crossbars {
+		t.Errorf("lowered crossbars %d exceed mapped %d", lm.Crossbars(), rep.Crossbars)
+	}
+	if lm.Crossbars() != rep.Crossbars {
+		// Random Kaiming weights always have both signs, so they
+		// should actually be equal here.
+		t.Errorf("lowered crossbars %d != mapped %d for mixed-sign weights", lm.Crossbars(), rep.Crossbars)
+	}
+}
+
+func TestMapNetworkErrors(t *testing.T) {
+	bad := testCfg(16)
+	bad.ADCBits = 0
+	set := dataset.SynthCIFAR(2, 2, 1)
+	net := models.MiniConvNet(set, 4, 5)
+	if _, err := MapNetwork(net, bad, DefaultAreaModel()); err == nil {
+		t.Error("expected config error")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+	"geniex/internal/xbar"
+)
+
+// EvalResult compares a crossbar model against the circuit-level
+// ground truth on a validation set, using the paper's metric: the RMSE
+// of the non-ideality factor NF with respect to "SPICE" (Fig. 5).
+type EvalResult struct {
+	// RMSENF is the root mean square error of the model's NF against
+	// the circuit solver's NF, pooled over samples and columns.
+	RMSENF float64
+	// RMSERatio is the same statistic on fR.
+	RMSERatio float64
+	// Samples is the number of (sample, column) pairs pooled.
+	Samples int
+}
+
+// CurrentModel is any predictor of non-ideal crossbar output currents;
+// GENIEx, the analytical model and the ideal model all satisfy it.
+type CurrentModel interface {
+	// NonIdealCurrents predicts output currents for drive voltages v
+	// against conductances g.
+	NonIdealCurrents(v []float64, g *linalg.Dense) []float64
+}
+
+// AnalyticalAdapter exposes the xbar analytical model as a
+// CurrentModel. Because the distortion matrix depends on G, the
+// adapter rebuilds it per sample — acceptable for evaluation runs,
+// while the functional simulator caches per-tile instances instead.
+type AnalyticalAdapter struct {
+	Cfg xbar.Config
+}
+
+// NonIdealCurrents implements CurrentModel.
+func (a AnalyticalAdapter) NonIdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	m, err := xbar.NewAnalytical(a.Cfg, g)
+	if err != nil {
+		panic(fmt.Sprintf("core: analytical adapter: %v", err))
+	}
+	return m.Currents(v)
+}
+
+// IdealAdapter is the zero-non-ideality baseline (NF = 0 everywhere).
+type IdealAdapter struct{}
+
+// NonIdealCurrents implements CurrentModel.
+func (IdealAdapter) NonIdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	return xbar.IdealCurrents(v, g)
+}
+
+// Evaluate measures a model against the dataset's circuit-solver
+// labels. The dataset's FR field holds ground-truth ratios; NF is
+// derived from them.
+func Evaluate(model CurrentModel, ds *Dataset) EvalResult {
+	cfg := ds.Cfg
+	var nfTrue, nfPred, frTrue, frPred []float64
+	g := linalg.NewDense(cfg.Rows, cfg.Cols)
+	for s := 0; s < ds.Len(); s++ {
+		copy(g.Data, ds.G.Row(s))
+		v := ds.V.Row(s)
+		ideal := xbar.IdealCurrents(v, g)
+		trueCurr := xbar.ApplyRatio(ideal, ds.FR.Row(s))
+		predCurr := model.NonIdealCurrents(v, g)
+
+		tNF := xbar.NF(ideal, trueCurr, cfg)
+		pNF := xbar.NF(ideal, predCurr, cfg)
+		tFR := ds.FR.Row(s)
+		pFR := xbar.Ratio(ideal, predCurr, cfg)
+		nfTrue = append(nfTrue, tNF...)
+		nfPred = append(nfPred, pNF...)
+		frTrue = append(frTrue, tFR...)
+		frPred = append(frPred, pFR...)
+	}
+	return EvalResult{
+		RMSENF:    linalg.RMSE(nfTrue, nfPred),
+		RMSERatio: linalg.RMSE(frTrue, frPred),
+		Samples:   len(nfTrue),
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+	"geniex/internal/xbar"
+)
+
+// Measurer produces the non-ideal output currents of a physical (or
+// simulated) crossbar for one programmed state and drive vector. It is
+// the abstraction behind the paper's observation that GENIEx "can be
+// used to model crossbars from both simulations as well as
+// experimental measurements": implement Measurer with your lab
+// instrument readout and GENIEx trains on real silicon.
+type Measurer interface {
+	// Measure programs the array with g (Rows×Cols siemens) and reads
+	// the bit-line currents for drive voltages v.
+	Measure(v []float64, g *linalg.Dense) ([]float64, error)
+}
+
+// MeasurerFunc adapts a function to the Measurer interface.
+type MeasurerFunc func(v []float64, g *linalg.Dense) ([]float64, error)
+
+// Measure implements Measurer.
+func (f MeasurerFunc) Measure(v []float64, g *linalg.Dense) ([]float64, error) {
+	return f(v, g)
+}
+
+// GenerateFrom builds a labelled dataset by driving an external
+// measurement source with the same stratified random (V, G)
+// combinations Generate would use. Unlike Generate, the labels come
+// from the Measurer rather than the built-in circuit solver, so the
+// resulting model absorbs whatever the measured array actually does —
+// including variation, drift and defects.
+func GenerateFrom(cfg xbar.Config, m Measurer, opt GenOptions) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: GenerateFrom with nil measurer")
+	}
+	opt = opt.withDefaults()
+	if opt.Samples <= 0 {
+		return nil, fmt.Errorf("core: GenerateFrom with %d samples", opt.Samples)
+	}
+	rng := linalg.NewRNG(opt.Seed)
+	n := opt.Samples
+	ds := &Dataset{
+		Cfg: cfg,
+		V:   linalg.NewDense(n, cfg.Rows),
+		G:   linalg.NewDense(n, cfg.Rows*cfg.Cols),
+		FR:  linalg.NewDense(n, cfg.Cols),
+	}
+	g := linalg.NewDense(cfg.Rows, cfg.Cols)
+	for s := 0; s < n; s++ {
+		sparsV := opt.Sparsities[rng.Intn(len(opt.Sparsities))]
+		sparsG := opt.Sparsities[rng.Intn(len(opt.Sparsities))]
+		fillVector(ds.V.Row(s), cfg.Vsupply, opt.StreamBits, sparsV, rng)
+		fillConductances(ds.G.Row(s), cfg, opt.SliceBits, sparsG, rng)
+
+		copy(g.Data, ds.G.Row(s))
+		curr, err := m.Measure(ds.V.Row(s), g)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring sample %d: %w", s, err)
+		}
+		if len(curr) != cfg.Cols {
+			return nil, fmt.Errorf("core: measurer returned %d currents for %d columns", len(curr), cfg.Cols)
+		}
+		ideal := xbar.IdealCurrents(ds.V.Row(s), g)
+		copy(ds.FR.Row(s), xbar.Ratio(ideal, curr, cfg))
+	}
+	return ds, nil
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"geniex/internal/linalg"
+	"geniex/internal/nn"
+	"geniex/internal/xbar"
+)
+
+// Model is a trained GENIEx crossbar surrogate: a two-layer MLP of
+// shape (Rows + Rows·Cols) × Hidden × Cols predicting the normalized
+// distortion ratio fR(V, G), exactly the topology of Section 4 of the
+// paper (the paper uses Hidden = 500).
+//
+// Inputs are normalized to [0, 1]: voltages by Vsupply, conductances
+// by their position in the [Goff, Gon] window. Labels are min-max
+// normalized with statistics frozen at training time.
+type Model struct {
+	Cfg    xbar.Config
+	Hidden int
+
+	// The MLP is stored as its two layers rather than a Sequential so
+	// the G-contribution of the first layer can be cached (see
+	// GContext).
+	L1 *nn.Linear // (Rows+Rows·Cols) × Hidden
+	L2 *nn.Linear // Hidden × Cols
+
+	FRMin, FRMax float64
+
+	// Single-entry memo of the voltage-dependent first-layer product
+	// Vn·W1v. The functional simulator evaluates the same stream batch
+	// against every weight slice of a tile (different GContexts, same
+	// voltages), so this cache removes the dominant matmul from all
+	// but the first slice. Keyed on the batch's identity.
+	baseMu  sync.Mutex
+	baseKey *linalg.Dense
+	baseVal *linalg.Dense
+}
+
+// NewModel creates an untrained GENIEx model for a crossbar design
+// point.
+func NewModel(cfg xbar.Config, hidden int, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hidden <= 0 {
+		return nil, fmt.Errorf("core: model with %d hidden units", hidden)
+	}
+	rng := linalg.NewRNG(seed)
+	in := cfg.Rows + cfg.Rows*cfg.Cols
+	return &Model{
+		Cfg:    cfg,
+		Hidden: hidden,
+		L1:     nn.NewLinear(in, hidden, true, rng),
+		L2:     nn.NewLinear(hidden, cfg.Cols, true, rng),
+		FRMin:  0,
+		FRMax:  1,
+	}, nil
+}
+
+// normalizeV scales voltages into [0, 1].
+func (m *Model) normalizeV(dst, v []float64) {
+	for i, x := range v {
+		dst[i] = x / m.Cfg.Vsupply
+	}
+}
+
+// normalizeG maps conductances onto their window position in [0, 1].
+func (m *Model) normalizeG(dst, g []float64) {
+	lo, hi := m.Cfg.Goff(), m.Cfg.Gon()
+	inv := 1 / (hi - lo)
+	for i, x := range g {
+		dst[i] = (x - lo) * inv
+	}
+}
+
+// inputs assembles the normalized [V | G] design matrix of a dataset.
+func (m *Model) inputs(ds *Dataset) *linalg.Dense {
+	n := ds.Len()
+	in := linalg.NewDense(n, m.Cfg.Rows+m.Cfg.Rows*m.Cfg.Cols)
+	for s := 0; s < n; s++ {
+		row := in.Row(s)
+		m.normalizeV(row[:m.Cfg.Rows], ds.V.Row(s))
+		m.normalizeG(row[m.Cfg.Rows:], ds.G.Row(s))
+	}
+	return in
+}
+
+// net wraps the two layers as a Sequential with ReLU for training.
+func (m *Model) net() *nn.Sequential {
+	return nn.NewSequential(m.L1, nn.NewReLU(), m.L2)
+}
+
+// TrainOptions controls GENIEx training.
+type TrainOptions struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+	// Verbose, when non-nil, receives one line per epoch.
+	Verbose io.Writer
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 120
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	if o.LR == 0 {
+		o.LR = 1e-3
+	}
+	return o
+}
+
+// Train fits the model to a dataset with Adam on the MSE of the
+// normalized ratio. It freezes the label normalization statistics from
+// the training set.
+func (m *Model) Train(ds *Dataset, opt TrainOptions) error {
+	if ds.Cfg.Rows != m.Cfg.Rows || ds.Cfg.Cols != m.Cfg.Cols {
+		return fmt.Errorf("core: dataset is %dx%d, model is %dx%d",
+			ds.Cfg.Rows, ds.Cfg.Cols, m.Cfg.Rows, m.Cfg.Cols)
+	}
+	opt = opt.withDefaults()
+
+	// Label normalization.
+	m.FRMin, m.FRMax = math.Inf(1), math.Inf(-1)
+	for _, f := range ds.FR.Data {
+		m.FRMin = math.Min(m.FRMin, f)
+		m.FRMax = math.Max(m.FRMax, f)
+	}
+	if m.FRMax-m.FRMin < 1e-12 {
+		// Degenerate labels (e.g. an essentially ideal crossbar):
+		// widen the window so normalization stays finite.
+		m.FRMax = m.FRMin + 1e-6
+	}
+
+	in := m.inputs(ds)
+	labels := linalg.NewDense(ds.Len(), m.Cfg.Cols)
+	inv := 1 / (m.FRMax - m.FRMin)
+	for i, f := range ds.FR.Data {
+		labels.Data[i] = (f - m.FRMin) * inv
+	}
+
+	// Weights are about to change: drop the memoized first-layer
+	// product.
+	m.baseMu.Lock()
+	m.baseKey, m.baseVal = nil, nil
+	m.baseMu.Unlock()
+
+	net := m.net()
+	params := net.Params()
+	optim := nn.NewAdam(params, opt.LR)
+	rng := linalg.NewRNG(opt.Seed)
+	n := ds.Len()
+
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < n; lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > n {
+				hi = n
+			}
+			bx := linalg.NewDense(hi-lo, in.Cols)
+			by := linalg.NewDense(hi-lo, labels.Cols)
+			for i, s := range perm[lo:hi] {
+				copy(bx.Row(i), in.Row(s))
+				copy(by.Row(i), labels.Row(s))
+			}
+			nn.ZeroGrad(params)
+			pred := net.Forward(bx, true)
+			loss, grad := nn.MSE(pred, by)
+			net.Backward(grad)
+			optim.Step()
+			epochLoss += loss
+			batches++
+		}
+		if opt.Verbose != nil {
+			fmt.Fprintf(opt.Verbose, "epoch %3d/%d  mse=%.6f\n", epoch+1, opt.Epochs, epochLoss/float64(batches))
+		}
+	}
+	return nil
+}
+
+// Predict returns the distortion ratio vector fR for one (V, G)
+// combination in physical units.
+func (m *Model) Predict(v []float64, g *linalg.Dense) []float64 {
+	ctx := m.NewGContext(g)
+	vb := linalg.NewDense(1, len(v))
+	copy(vb.Row(0), v)
+	out := m.PredictWithContext(vb, ctx)
+	return out.Row(0)
+}
+
+// GContext caches the conductance-dependent part of the first layer.
+// The hidden pre-activation is h = Vn·W1v + Gn·W1g + b1; for a fixed
+// crossbar tile the term Gn·W1g + b1 is constant, so the functional
+// simulator computes it once per (tile, slice) and then evaluates
+// whole batches of input streams with a single Rows×Hidden matmul.
+// This caching is what makes end-to-end DNN evaluation through GENIEx
+// tractable on a CPU.
+type GContext struct {
+	bias []float64 // Hidden values: Gn·W1g + b1
+}
+
+// NewGContext precomputes the hidden-layer contribution of a
+// conductance matrix (Rows×Cols, physical units).
+func (m *Model) NewGContext(g *linalg.Dense) *GContext {
+	if g.Rows != m.Cfg.Rows || g.Cols != m.Cfg.Cols {
+		panic(fmt.Sprintf("core: GContext with %dx%d matrix for %dx%d model",
+			g.Rows, g.Cols, m.Cfg.Rows, m.Cfg.Cols))
+	}
+	gn := make([]float64, len(g.Data))
+	m.normalizeG(gn, g.Data)
+	bias := make([]float64, m.Hidden)
+	copy(bias, m.L1.Bias.W.Data)
+	// W1 rows [Rows, Rows+Rows·Cols) hold the G block.
+	w := m.L1.Weight.W
+	for i, gv := range gn {
+		if gv == 0 {
+			continue
+		}
+		row := w.Row(m.Cfg.Rows + i)
+		linalg.Axpy(gv, row, bias)
+	}
+	return &GContext{bias: bias}
+}
+
+// hiddenBase returns Vn·W1v for a voltage batch, memoizing the last
+// batch by identity. Callers must not mutate v after passing it here
+// within the same evaluation sequence.
+func (m *Model) hiddenBase(v *linalg.Dense) *linalg.Dense {
+	m.baseMu.Lock()
+	defer m.baseMu.Unlock()
+	if m.baseKey == v {
+		return m.baseVal
+	}
+	n := v.Rows
+	vn := linalg.NewDense(n, m.Cfg.Rows)
+	for s := 0; s < n; s++ {
+		m.normalizeV(vn.Row(s), v.Row(s))
+	}
+	w1v := linalg.NewDenseFrom(m.Cfg.Rows, m.Hidden, m.L1.Weight.W.Data[:m.Cfg.Rows*m.Hidden])
+	m.baseKey = v
+	m.baseVal = linalg.MatMul(vn, w1v)
+	return m.baseVal
+}
+
+// PredictWithContext evaluates fR for a batch of voltage vectors
+// (batch × Rows, physical units) against a cached conductance context.
+// The returned matrix is batch × Cols of physical (denormalized) fR.
+func (m *Model) PredictWithContext(v *linalg.Dense, ctx *GContext) *linalg.Dense {
+	if v.Cols != m.Cfg.Rows {
+		panic(fmt.Sprintf("core: predict with %d inputs for %d rows", v.Cols, m.Cfg.Rows))
+	}
+	n := v.Rows
+	base := m.hiddenBase(v)
+	// Hidden = ReLU(base + ctx.bias).
+	hidden := linalg.NewDense(n, m.Hidden)
+	for s := 0; s < n; s++ {
+		brow := base.Row(s)
+		row := hidden.Row(s)
+		for j := range row {
+			h := brow[j] + ctx.bias[j]
+			if h > 0 {
+				row[j] = h
+			}
+		}
+	}
+	out := linalg.MatMul(hidden, m.L2.Weight.W)
+	span := m.FRMax - m.FRMin
+	for s := 0; s < n; s++ {
+		row := out.Row(s)
+		for j := range row {
+			row[j] = m.FRMin + (row[j]+m.L2.Bias.W.Data[j])*span
+		}
+	}
+	return out
+}
+
+// NonIdealCurrents predicts the non-ideal output currents for one
+// (V, G) combination: the ideal MVM divided by the predicted ratio.
+func (m *Model) NonIdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	fr := m.Predict(v, g)
+	return xbar.ApplyRatio(xbar.IdealCurrents(v, g), fr)
+}
+
+// Save serializes the model with gob.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel deserializes a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var m *Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to the named file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save model %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile reads a model from the named file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the dataset with gob. Circuit-solver labelling is by far
+// the most expensive stage of the GENIEx flow, so datasets are worth
+// persisting and sharing between training runs.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("core: save dataset: %w", err)
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset written by Save.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	var d *Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: load dataset: %w", err)
+	}
+	if err := d.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded dataset has invalid config: %w", err)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to the named file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save dataset %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDatasetFile reads a dataset from the named file.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load dataset %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadDataset(f)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+	"geniex/internal/xbar"
+)
+
+// Target selects what the surrogate MLP predicts. The paper argues
+// (Section 4) that predicting the distortion ratio fR avoids asking a
+// linear-transformation network to model the multiplicative V×G
+// interaction; TargetCurrent exists to test that argument empirically
+// (see the "ab1-ratio" ablation experiment).
+type Target int
+
+const (
+	// TargetRatio predicts fR = Iideal/Inon-ideal (the paper's
+	// formulation; required for use inside the functional simulator).
+	TargetRatio Target = iota
+	// TargetCurrent predicts the non-ideal output currents directly,
+	// normalized by the crossbar's full-scale current.
+	TargetCurrent
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case TargetRatio:
+		return "ratio"
+	case TargetCurrent:
+		return "current"
+	}
+	return fmt.Sprintf("Target(%d)", int(t))
+}
+
+// DirectModel is the ablation variant of Model: the same MLP topology
+// trained to predict non-ideal currents directly instead of the
+// distortion ratio.
+type DirectModel struct {
+	M *Model // reuses the MLP and normalization machinery
+}
+
+// NewDirectModel creates an untrained direct-current surrogate.
+func NewDirectModel(cfg xbar.Config, hidden int, seed uint64) (*DirectModel, error) {
+	m, err := NewModel(cfg, hidden, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectModel{M: m}, nil
+}
+
+// fullScale returns the normalization constant for currents.
+func (d *DirectModel) fullScale() float64 {
+	cfg := d.M.Cfg
+	return float64(cfg.Rows) * cfg.Vsupply * cfg.Gon()
+}
+
+// Train fits the model to the dataset's non-ideal currents
+// (reconstructed from the stored ratios).
+func (d *DirectModel) Train(ds *Dataset, opt TrainOptions) error {
+	// Build a shadow dataset whose FR field holds normalized currents;
+	// Model.Train then treats them as generic labels. FRMin/FRMax
+	// still give the denormalization window.
+	shadow := &Dataset{
+		Cfg: ds.Cfg,
+		V:   ds.V,
+		G:   ds.G,
+		FR:  linalg.NewDense(ds.Len(), ds.FR.Cols),
+	}
+	full := d.fullScale()
+	g := linalg.NewDense(ds.Cfg.Rows, ds.Cfg.Cols)
+	for s := 0; s < ds.Len(); s++ {
+		copy(g.Data, ds.G.Row(s))
+		ideal := xbar.IdealCurrents(ds.V.Row(s), g)
+		non := xbar.ApplyRatio(ideal, ds.FR.Row(s))
+		dst := shadow.FR.Row(s)
+		for j := range dst {
+			dst[j] = non[j] / full
+		}
+	}
+	return d.M.Train(shadow, opt)
+}
+
+// NonIdealCurrents implements CurrentModel.
+func (d *DirectModel) NonIdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	// The underlying model denormalizes with its label window, which
+	// here holds normalized currents.
+	norm := d.M.Predict(v, g)
+	out := make([]float64, len(norm))
+	full := d.fullScale()
+	for j, x := range norm {
+		if x < 0 {
+			x = 0 // currents cannot be negative for non-negative drives
+		}
+		out[j] = x * full
+	}
+	return out
+}

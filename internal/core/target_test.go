@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"geniex/internal/linalg"
+)
+
+func TestTargetString(t *testing.T) {
+	if TargetRatio.String() != "ratio" || TargetCurrent.String() != "current" {
+		t.Error("target names wrong")
+	}
+	if Target(9).String() == "" {
+		t.Error("unknown target should still render")
+	}
+}
+
+func TestDirectModelTrainsAndPredicts(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t, cfg, 120, 51)
+	train, val := ds.Split(0.2, 53)
+	d, err := NewDirectModel(cfg, 48, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(train, TrainOptions{Epochs: 120, BatchSize: 16, LR: 2e-3, Seed: 57}); err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(d, val)
+	if res.Samples == 0 {
+		t.Fatal("no samples evaluated")
+	}
+	// The direct model must at least be usable: currents non-negative
+	// and of plausible magnitude.
+	g := linalg.NewDense(cfg.Rows, cfg.Cols)
+	copy(g.Data, val.G.Row(0))
+	curr := d.NonIdealCurrents(val.V.Row(0), g)
+	full := float64(cfg.Rows) * cfg.Vsupply * cfg.Gon()
+	for j, c := range curr {
+		if c < 0 || c > full*1.5 {
+			t.Fatalf("current[%d] = %v implausible (full scale %v)", j, c, full)
+		}
+	}
+}
+
+// The paper's formulation argument: at matched budget, predicting the
+// ratio fR tracks the circuit better than predicting currents
+// directly (the MLP struggles with the multiplicative V×G
+// interaction).
+func TestRatioFormulationBeatsDirect(t *testing.T) {
+	cfg := testConfig()
+	cfg.Vsupply = 0.5
+	ds, err := Generate(cfg, GenOptions{Samples: 240, StreamBits: 4, SliceBits: 4, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := ds.Split(0.2, 63)
+
+	ratio, err := NewModel(cfg, 48, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ratio.Train(train, TrainOptions{Epochs: 150, BatchSize: 16, LR: 2e-3, Seed: 67}); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewDirectModel(cfg, 48, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Train(train, TrainOptions{Epochs: 150, BatchSize: 16, LR: 2e-3, Seed: 67}); err != nil {
+		t.Fatal(err)
+	}
+
+	rRes := Evaluate(ratio, val)
+	dRes := Evaluate(direct, val)
+	t.Logf("NF RMSE: ratio=%.4f direct=%.4f", rRes.RMSENF, dRes.RMSENF)
+	if rRes.RMSENF >= dRes.RMSENF {
+		t.Errorf("ratio formulation (%.4f) did not beat direct (%.4f)", rRes.RMSENF, dRes.RMSENF)
+	}
+}
+
+func TestDirectModelInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rows = 0
+	if _, err := NewDirectModel(cfg, 16, 1); err == nil {
+		t.Error("expected config error")
+	}
+}

@@ -1,0 +1,79 @@
+package dataset
+
+import "geniex/internal/linalg"
+
+// Augment describes the random training-time transformations applied
+// to image batches: horizontal flips and integer pixel shifts with
+// zero padding — the standard light augmentation for small image
+// classification tasks.
+type Augment struct {
+	// FlipProb is the probability of a horizontal mirror.
+	FlipProb float64
+	// MaxShift is the maximum absolute shift (pixels) in each axis.
+	MaxShift int
+}
+
+// DefaultAugment returns flip-half-the-time plus ±2 pixel shifts.
+func DefaultAugment() Augment {
+	return Augment{FlipProb: 0.5, MaxShift: 2}
+}
+
+// Apply transforms a batch in place. The batch layout must match the
+// set's geometry (one C×H×W image per row).
+func (a Augment) Apply(s *Set, x *linalg.Dense, rng *linalg.RNG) {
+	if x.Cols != s.Features() {
+		panic("dataset: Augment.Apply on a batch with wrong feature count")
+	}
+	tmp := make([]float64, s.Features())
+	for b := 0; b < x.Rows; b++ {
+		row := x.Row(b)
+		if a.FlipProb > 0 && rng.Float64() < a.FlipProb {
+			flipH(row, s.C, s.H, s.W)
+		}
+		if a.MaxShift > 0 {
+			dx := rng.Intn(2*a.MaxShift+1) - a.MaxShift
+			dy := rng.Intn(2*a.MaxShift+1) - a.MaxShift
+			if dx != 0 || dy != 0 {
+				shift(row, tmp, s.C, s.H, s.W, dx, dy)
+			}
+		}
+	}
+}
+
+// flipH mirrors each channel left-right in place.
+func flipH(img []float64, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			rowStart := base + y*w
+			for x := 0; x < w/2; x++ {
+				img[rowStart+x], img[rowStart+w-1-x] = img[rowStart+w-1-x], img[rowStart+x]
+			}
+		}
+	}
+}
+
+// shift translates each channel by (dx, dy) with zero fill, using tmp
+// as scratch.
+func shift(img, tmp []float64, c, h, w, dx, dy int) {
+	copy(tmp, img)
+	for i := range img {
+		img[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				img[base+y*w+x] = tmp[base+sy*w+sx]
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"testing"
+
+	"geniex/internal/linalg"
+)
+
+func TestSynthCIFARShapes(t *testing.T) {
+	s := SynthCIFAR(100, 40, 1)
+	if s.Classes != 10 || s.C != 3 || s.H != 16 || s.W != 16 {
+		t.Fatalf("metadata wrong: %+v", s)
+	}
+	if s.TrainX.Rows != 100 || s.TestX.Rows != 40 {
+		t.Fatalf("sizes wrong: %d/%d", s.TrainX.Rows, s.TestX.Rows)
+	}
+	if s.Features() != 3*16*16 {
+		t.Fatalf("features = %d", s.Features())
+	}
+}
+
+func TestSynthImageNetShapes(t *testing.T) {
+	s := SynthImageNet(60, 20, 2)
+	if s.Classes != 20 || s.H != 32 || s.W != 32 {
+		t.Fatalf("metadata wrong: %+v", s)
+	}
+}
+
+func TestLabelsBalancedAndInRange(t *testing.T) {
+	s := SynthCIFAR(200, 100, 3)
+	counts := make([]int, s.Classes)
+	for _, y := range s.TrainY {
+		if y < 0 || y >= s.Classes {
+			t.Fatalf("label %d out of range", y)
+		}
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Errorf("class %d has %d train examples, want 20", c, n)
+		}
+	}
+}
+
+func TestPixelRange(t *testing.T) {
+	s := SynthCIFAR(30, 10, 4)
+	for _, v := range s.TrainX.Data {
+		if v < -1.5 || v > 1.5 {
+			t.Fatalf("pixel %v out of range", v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SynthCIFAR(20, 10, 7)
+	b := SynthCIFAR(20, 10, 7)
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != b.TrainX.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := SynthCIFAR(20, 10, 8)
+	same := true
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != c.TrainX.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestImagesVaryWithinClass(t *testing.T) {
+	s := SynthCIFAR(40, 10, 9)
+	// Find two examples of class 0 and verify they differ (random
+	// shape position / phase / noise).
+	var first []float64
+	for i, y := range s.TrainY {
+		if y != 0 {
+			continue
+		}
+		if first == nil {
+			first = s.TrainX.Row(i)
+			continue
+		}
+		row := s.TrainX.Row(i)
+		for j := range row {
+			if row[j] != first[j] {
+				return // differ somewhere: good
+			}
+		}
+		t.Fatal("two class-0 images are identical")
+	}
+	t.Fatal("did not find two class-0 images")
+}
+
+func TestBatchesCoverAll(t *testing.T) {
+	s := SynthCIFAR(50, 10, 11)
+	seen := 0
+	sizes := []int{}
+	s.Batches(16, 5, func(x *linalg.Dense, y []int) {
+		if x.Rows != len(y) {
+			t.Fatalf("batch rows %d != labels %d", x.Rows, len(y))
+		}
+		seen += len(y)
+		sizes = append(sizes, len(y))
+	})
+	if seen != 50 {
+		t.Errorf("batches covered %d examples, want 50", seen)
+	}
+	if sizes[len(sizes)-1] != 2 {
+		t.Errorf("last batch size %d, want 2", sizes[len(sizes)-1])
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s := SynthCIFAR(50, 20, 13)
+	sub := s.Subset(10, 5)
+	if sub.TrainX.Rows != 10 || sub.TestX.Rows != 5 {
+		t.Fatalf("subset sizes %d/%d", sub.TrainX.Rows, sub.TestX.Rows)
+	}
+	for i := 0; i < 10; i++ {
+		if sub.TrainY[i] != s.TrainY[i] {
+			t.Fatal("subset labels diverge")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized subset did not panic")
+		}
+	}()
+	s.Subset(1000, 1)
+}
+
+func TestFlipHInvolution(t *testing.T) {
+	s := SynthCIFAR(4, 2, 17)
+	orig := make([]float64, s.Features())
+	copy(orig, s.TrainX.Row(0))
+	img := s.TrainX.Row(0)
+	flipH(img, s.C, s.H, s.W)
+	changed := false
+	for i := range img {
+		if img[i] != orig[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("flip changed nothing")
+	}
+	flipH(img, s.C, s.H, s.W)
+	for i := range img {
+		if img[i] != orig[i] {
+			t.Fatal("double flip is not the identity")
+		}
+	}
+}
+
+func TestShiftMovesPixels(t *testing.T) {
+	c, h, w := 1, 4, 4
+	img := make([]float64, h*w)
+	img[1*w+1] = 7 // pixel at (1,1)
+	tmp := make([]float64, h*w)
+	shift(img, tmp, c, h, w, 1, 2)
+	if img[3*w+2] != 7 {
+		t.Errorf("pixel did not move to (3,2): %v", img)
+	}
+	var sum float64
+	for _, v := range img {
+		sum += v
+	}
+	if sum != 7 {
+		t.Errorf("shift duplicated or lost mass: %v", sum)
+	}
+	// Shifting off the edge zeroes everything.
+	shift(img, tmp, c, h, w, 10, 0)
+	for _, v := range img {
+		if v != 0 {
+			t.Fatal("off-edge shift left residue")
+		}
+	}
+}
+
+func TestAugmentApplyDeterministic(t *testing.T) {
+	s := SynthCIFAR(8, 2, 19)
+	a := DefaultAugment()
+	x1 := s.TrainX.Clone()
+	x2 := s.TrainX.Clone()
+	a.Apply(s, x1, linalg.NewRNG(5))
+	a.Apply(s, x2, linalg.NewRNG(5))
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatal("augmentation not deterministic under the same seed")
+		}
+	}
+	// And it must actually change something.
+	diff := false
+	for i := range x1.Data {
+		if x1.Data[i] != s.TrainX.Data[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("augmentation was a no-op")
+	}
+}

@@ -1,0 +1,134 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRRAMLowBiasConductance(t *testing.T) {
+	p := DefaultRRAMParams()
+	for _, g := range []float64{1e-6, 1e-5, 2e-5, 1e-4} {
+		d := NewRRAM(g, p)
+		if got := d.LowBiasConductance(); math.Abs(got-g)/g > 1e-12 {
+			t.Errorf("low-bias conductance = %v, want %v", got, g)
+		}
+		// Numerical small-signal conductance must match too.
+		const h = 1e-7
+		num := (d.Current(h) - d.Current(-h)) / (2 * h)
+		if math.Abs(num-g)/g > 1e-6 {
+			t.Errorf("numerical G(0) = %v, want %v", num, g)
+		}
+	}
+}
+
+func TestRRAMGapMonotone(t *testing.T) {
+	p := DefaultRRAMParams()
+	lo := NewRRAM(1e-6, p)
+	hi := NewRRAM(1e-4, p)
+	if lo.Gap() <= hi.Gap() {
+		t.Errorf("lower conductance should mean larger gap: %v vs %v", lo.Gap(), hi.Gap())
+	}
+}
+
+func TestRRAMSuperLinear(t *testing.T) {
+	d := NewRRAM(1e-5, DefaultRRAMParams())
+	// sinh non-linearity: current at 2V' must exceed twice the current
+	// at V' for V' comparable to V0.
+	v := 0.25
+	if d.Current(2*v) <= 2*d.Current(v) {
+		t.Errorf("RRAM should be super-linear: I(2v)=%v vs 2I(v)=%v", d.Current(2*v), 2*d.Current(v))
+	}
+}
+
+func TestSelectorSubLinear(t *testing.T) {
+	s := NewSelector(1e-4, 0.3)
+	v := 0.3
+	if s.Current(2*v) >= 2*s.Current(v) {
+		t.Errorf("selector should be sub-linear: I(2v)=%v vs 2I(v)=%v", s.Current(2*v), 2*s.Current(v))
+	}
+}
+
+// Property: all element models are odd symmetric and their analytic
+// conductance matches a centered difference of the current.
+func TestElementConsistency(t *testing.T) {
+	elems := []Element{
+		NewRRAM(1e-5, DefaultRRAMParams()),
+		NewSelector(2e-5, 0.3),
+		NewLinear(1e-5),
+	}
+	f := func(raw float64) bool {
+		v := math.Mod(raw, 0.6) // keep within a realistic operating range
+		if math.IsNaN(v) {
+			return true
+		}
+		for _, e := range elems {
+			if math.Abs(e.Current(v)+e.Current(-v)) > 1e-18 {
+				return false
+			}
+			const h = 1e-6
+			num := (e.Current(v+h) - e.Current(v-h)) / (2 * h)
+			ana := e.Conductance(v)
+			if math.Abs(num-ana) > 1e-6*(1+math.Abs(ana)) {
+				return false
+			}
+			if ana <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementMonotonic(t *testing.T) {
+	elems := []Element{
+		NewRRAM(1e-5, DefaultRRAMParams()),
+		NewSelector(2e-5, 0.3),
+		NewLinear(1e-5),
+	}
+	for _, e := range elems {
+		prev := e.Current(-0.5)
+		for v := -0.49; v <= 0.5; v += 0.01 {
+			cur := e.Current(v)
+			if cur <= prev {
+				t.Fatalf("%T not strictly increasing at v=%v", e, v)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { NewRRAM(0, DefaultRRAMParams()) },
+		func() { NewRRAM(-1, DefaultRRAMParams()) },
+		func() { NewSelector(0, 1) },
+		func() { NewSelector(1, 0) },
+		func() { NewLinear(0) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestLinearIsExactlyLinear(t *testing.T) {
+	l := NewLinear(3e-5)
+	for _, v := range []float64{-0.5, -0.1, 0, 0.2, 0.5} {
+		if got := l.Current(v); got != 3e-5*v {
+			t.Errorf("Current(%v) = %v", v, got)
+		}
+		if got := l.Conductance(v); got != 3e-5 {
+			t.Errorf("Conductance(%v) = %v", v, got)
+		}
+	}
+}

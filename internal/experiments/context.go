@@ -1,0 +1,271 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Figs. 2, 3, 5, 7, 8, 9 and Table 3). Each
+// experiment returns a Table that prints the same rows/series the
+// paper plots; cmd/experiments and the repository benchmarks drive
+// them.
+//
+// Because the full paper-scale runs take hours on a CPU, every
+// experiment is parameterized by a Scale. TinyScale is used by tests
+// and benchmarks, QuickScale reproduces every trend in minutes, and
+// FullScale approaches the paper's parameters (64×64 crossbars, 500
+// hidden units).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"geniex/internal/core"
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/models"
+	"geniex/internal/nn"
+	"geniex/internal/xbar"
+)
+
+// Scale sets the knobs that trade fidelity for runtime.
+type Scale struct {
+	Name string
+
+	// Circuit-level experiments (Figs. 2, 3).
+	XbarSamples int // random (V, G) draws per design point
+
+	// GENIEx training (Fig. 5 and all funcsim modes).
+	GENIExSamples int
+	GENIExHidden  int
+	GENIExEpochs  int
+
+	// Accuracy experiments (Figs. 7, 8, 9).
+	TileSize    int // crossbar dimension used by the functional simulator
+	TrainImages int
+	TestImages  int
+	Channels    int // CNN width
+	CNNEpochs   int
+
+	Seed uint64
+}
+
+// TinyScale is for unit tests and benchmarks: seconds per experiment.
+func TinyScale() Scale {
+	return Scale{
+		Name:          "tiny",
+		XbarSamples:   24,
+		GENIExSamples: 150, GENIExHidden: 48, GENIExEpochs: 100,
+		TileSize:    8,
+		TrainImages: 500, TestImages: 60,
+		Channels: 8, CNNEpochs: 6,
+		Seed: 1,
+	}
+}
+
+// QuickScale reproduces every qualitative trend in minutes.
+func QuickScale() Scale {
+	return Scale{
+		Name:          "quick",
+		XbarSamples:   120,
+		GENIExSamples: 500, GENIExHidden: 128, GENIExEpochs: 160,
+		TileSize:    16,
+		TrainImages: 1500, TestImages: 200,
+		Channels: 8, CNNEpochs: 10,
+		Seed: 1,
+	}
+}
+
+// FullScale approaches the paper's parameters. Expect hours on a CPU.
+func FullScale() Scale {
+	return Scale{
+		Name:          "full",
+		XbarSamples:   500,
+		GENIExSamples: 2000, GENIExHidden: 500, GENIExEpochs: 150,
+		TileSize:    64,
+		TrainImages: 4000, TestImages: 1000,
+		Channels: 16, CNNEpochs: 20,
+		Seed: 1,
+	}
+}
+
+// Context carries the scale plus caches shared between experiments:
+// trained CNNs (one per dataset) and trained GENIEx surrogates (one
+// per crossbar design point). All experiments are deterministic given
+// the scale.
+type Context struct {
+	Scale Scale
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+
+	sets    map[string]*dataset.Set
+	nets    map[string]*nn.Sequential
+	geniexs map[string]*core.Model
+}
+
+// NewContext creates an experiment context.
+func NewContext(scale Scale, log io.Writer) *Context {
+	return &Context{
+		Scale:   scale,
+		Log:     log,
+		sets:    map[string]*dataset.Set{},
+		nets:    map[string]*nn.Sequential{},
+		geniexs: map[string]*core.Model{},
+	}
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// BaseXbar returns the nominal crossbar design point at the context's
+// tile size.
+func (c *Context) BaseXbar() xbar.Config {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = c.Scale.TileSize, c.Scale.TileSize
+	return cfg
+}
+
+// BaseSimConfig returns the nominal functional-simulator architecture
+// at the context's tile size.
+func (c *Context) BaseSimConfig() funcsim.Config {
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar = c.BaseXbar()
+	return cfg
+}
+
+// Dataset returns (and caches) one of the two synthetic datasets,
+// already restricted to the scale's sizes. name is "cifar" or
+// "imagenet".
+func (c *Context) Dataset(name string) *dataset.Set {
+	if s, ok := c.sets[name]; ok {
+		return s
+	}
+	var s *dataset.Set
+	switch name {
+	case "cifar":
+		s = dataset.SynthCIFAR(c.Scale.TrainImages, c.Scale.TestImages, c.Scale.Seed+10)
+	case "imagenet":
+		// The 32×32 set is 4× the compute: halve the image counts.
+		s = dataset.SynthImageNet(c.Scale.TrainImages/2+1, c.Scale.TestImages/2+1, c.Scale.Seed+20)
+	default:
+		panic("experiments: unknown dataset " + name)
+	}
+	c.sets[name] = s
+	return s
+}
+
+// Network returns (and caches) the trained MiniResNet for a dataset.
+func (c *Context) Network(name string) *nn.Sequential {
+	if n, ok := c.nets[name]; ok {
+		return n
+	}
+	set := c.Dataset(name)
+	net := models.MiniResNet(set, c.Scale.Channels, c.Scale.Seed+30)
+	c.logf("training MiniResNet on %s (%d train images, %d epochs)...",
+		set.Name, set.TrainX.Rows, c.Scale.CNNEpochs)
+	if err := models.Train(net, set, models.TrainConfig{
+		Epochs:    c.Scale.CNNEpochs,
+		BatchSize: 32,
+		LR:        0.05,
+		Seed:      c.Scale.Seed + 40,
+	}); err != nil {
+		panic(err) // training cannot fail structurally
+	}
+	c.logf("  float test accuracy: %.2f%%", 100*models.TestAccuracy(net, set, 64))
+	c.nets[name] = net
+	return net
+}
+
+// xbarKey identifies a crossbar design point for the GENIEx cache.
+func xbarKey(cfg xbar.Config) string {
+	return fmt.Sprintf("%dx%d|%g|%g|%g|%g|%g|%g", cfg.Rows, cfg.Cols, cfg.Ron,
+		cfg.OnOffRatio, cfg.Rsource, cfg.Rsink, cfg.Rwire, cfg.Vsupply)
+}
+
+// GENIEx returns (and caches) a trained surrogate for a crossbar
+// design point.
+func (c *Context) GENIEx(cfg xbar.Config) (*core.Model, error) {
+	key := xbarKey(cfg)
+	if m, ok := c.geniexs[key]; ok {
+		return m, nil
+	}
+	c.logf("training GENIEx for %s (%d samples, %d hidden)...",
+		cfg.String(), c.Scale.GENIExSamples, c.Scale.GENIExHidden)
+	// The training distribution mirrors the functional simulator's
+	// workloads: 4-bit digit grids with heavy sparsity strata (the
+	// paper's stratification argument, Section 4).
+	ds, err := core.Generate(cfg, core.GenOptions{
+		Samples:    c.Scale.GENIExSamples,
+		StreamBits: 4, SliceBits: 4,
+		Sparsities: []float64{0, 0.25, 0.5, 0.75, 0.9, 0.97},
+		Seed:       c.Scale.Seed + 50,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewModel(cfg, c.Scale.GENIExHidden, c.Scale.Seed+60)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Train(ds, core.TrainOptions{
+		Epochs:    c.Scale.GENIExEpochs,
+		BatchSize: 32,
+		LR:        1.5e-3,
+		Seed:      c.Scale.Seed + 70,
+	}); err != nil {
+		return nil, err
+	}
+	c.geniexs[key] = m
+	return m, nil
+}
+
+// SimAccuracy lowers the dataset's trained network onto the given
+// functional-simulator configuration and analog model, and returns
+// top-1 test accuracy.
+func (c *Context) SimAccuracy(name string, simCfg funcsim.Config, model funcsim.Model) (float64, error) {
+	set := c.Dataset(name)
+	net := c.Network(name)
+	eng, err := funcsim.NewEngine(simCfg, model)
+	if err != nil {
+		return 0, err
+	}
+	sim, err := funcsim.Lower(net, eng)
+	if err != nil {
+		return 0, err
+	}
+	return models.Accuracy(sim.Forward, set.TestX, set.TestY, 32)
+}
+
+// FloatAccuracy is the FP32 baseline accuracy of the dataset's
+// network.
+func (c *Context) FloatAccuracy(name string) float64 {
+	return models.TestAccuracy(c.Network(name), c.Dataset(name), 64)
+}
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string // e.g. "2b", "5", "7a", "table3"
+	Title string
+	Run   func(*Context) (*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment by its ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

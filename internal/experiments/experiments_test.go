@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"geniex/internal/funcsim"
+)
+
+func tinyCtx() *Context {
+	return NewContext(TinyScale(), nil)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"2a", "2b", "2c", "2d", "3", "5", "7a", "7b", "7c", "7d", "8", "9", "table3",
+		"ab1-ratio", "ab2-sparsity", "ab3-hidden", "ab4-variation", "ab5-energy", "ab6-compensation"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	tb.Note("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== T ==", "a", "bb", "2.5", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig2aRuns(t *testing.T) {
+	tb, err := fig2a(tinyCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("fig2a produced no rows")
+	}
+}
+
+// Fig 2(b): NF grows with crossbar size.
+func TestFig2bTrend(t *testing.T) {
+	c := tinyCtx()
+	var means []float64
+	for _, n := range []int{4, 8, 16} {
+		cfg := c.BaseXbar()
+		cfg.Rows, cfg.Cols = n, n
+		nf, _, _, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range nf {
+			sum += v
+		}
+		means = append(means, sum/float64(len(nf)))
+	}
+	if !(means[0] < means[1] && means[1] < means[2]) {
+		t.Errorf("NF means not increasing with size: %v", means)
+	}
+}
+
+// Fig 3(b): the linear vs non-linear discrepancy grows with supply
+// voltage.
+func TestFig3Trend(t *testing.T) {
+	c := tinyCtx()
+	errs, err := Fig3RelErrors(c, []float64{0.1, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(errs[0] < errs[1] && errs[1] < errs[2]) {
+		t.Errorf("relative errors not increasing with voltage: %v", errs)
+	}
+}
+
+// Fig 5: GENIEx must beat the analytical model at high voltage (the
+// paper's headline result).
+func TestFig5GENIExWins(t *testing.T) {
+	c := tinyCtx()
+	ana, gx, err := Fig5Point(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig5 @0.5V: analytical=%.4f geniex=%.4f", ana, gx)
+	if gx >= ana {
+		t.Errorf("GENIEx RMSE %v not below analytical %v", gx, ana)
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	tb, err := table3(tinyCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 10 {
+		t.Errorf("table3 has only %d rows", len(tb.Rows))
+	}
+}
+
+func TestPrecisionFormat(t *testing.T) {
+	f := PrecisionFormat(16)
+	if f.Bits != 16 || f.Frac != 13 {
+		t.Errorf("16-bit format = %+v", f)
+	}
+	for _, bits := range []int{4, 8, 16} {
+		if err := PrecisionFormat(bits).Validate(); err != nil {
+			t.Errorf("%d-bit format invalid: %v", bits, err)
+		}
+	}
+}
+
+// End-to-end smoke test of the accuracy machinery at tiny scale: the
+// ideal FxP accuracy must be far above chance and GENIEx mode must
+// produce a valid accuracy.
+func TestSimAccuracyPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy pipeline is slow")
+	}
+	c := tinyCtx()
+	ideal, err := c.SimAccuracy("cifar", c.BaseSimConfig(), funcsim.Ideal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tiny-scale ideal FxP accuracy: %.2f%%", 100*ideal)
+	if ideal < 0.3 {
+		t.Errorf("ideal FxP accuracy %.2f too close to chance", ideal)
+	}
+	gx, err := GENIExAccuracy(c, "cifar", c.BaseXbar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tiny-scale GENIEx accuracy: %.2f%%", 100*gx)
+	if gx < 0 || gx > 1 {
+		t.Errorf("GENIEx accuracy %v out of range", gx)
+	}
+}
+
+// Ablation 4 runs quickly at tiny scale and must show variation
+// increasing NF spread.
+func TestAb4VariationRuns(t *testing.T) {
+	e, ok := ByID("ab4-variation")
+	if !ok {
+		t.Fatal("ab4-variation not registered")
+	}
+	tb, err := e.Run(tinyCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(tb.Rows))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow(1, "x,y")
+	tb.Note("n")
+	var buf strings.Builder
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"# T", "a,b", "1,\"x,y\"", "# n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CSV missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestContextCaches(t *testing.T) {
+	c := tinyCtx()
+	if c.Dataset("cifar") != c.Dataset("cifar") {
+		t.Error("dataset not cached")
+	}
+	cfg := c.BaseXbar()
+	m1, err := c.GENIEx(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.GENIEx(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("GENIEx surrogate not cached for identical config")
+	}
+	other := cfg
+	other.Ron *= 2
+	m3, err := c.GENIEx(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Error("different design points share a surrogate")
+	}
+}
+
+func TestScalesAreOrdered(t *testing.T) {
+	tiny, quick, full := TinyScale(), QuickScale(), FullScale()
+	if !(tiny.TileSize < quick.TileSize && quick.TileSize < full.TileSize) {
+		t.Error("tile sizes not increasing across scales")
+	}
+	if !(tiny.GENIExSamples < quick.GENIExSamples && quick.GENIExSamples < full.GENIExSamples) {
+		t.Error("sample counts not increasing across scales")
+	}
+	for _, s := range []Scale{tiny, quick, full} {
+		if s.Name == "" || s.Seed == 0 {
+			t.Errorf("scale %+v incomplete", s)
+		}
+	}
+}

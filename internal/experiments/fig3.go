@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "3",
+		Title: "Fig 3: impact of device non-linearity vs supply voltage",
+		Run:   fig3,
+	})
+}
+
+// fig3 reproduces both panels of Fig. 3: (a) the output current
+// distribution with linear-only vs linear+non-linear non-idealities,
+// and (b) the relative error between the two cases as the supply
+// voltage rises — the data-dependence argument motivating GENIEx.
+func fig3(c *Context) (*Table, error) {
+	t := &Table{
+		Title: "Fig 3 — linear-only vs linear+non-linear device models",
+		Columns: []string{"Vsupply (V)", "median I linear (µA)", "median I non-linear (µA)",
+			"mean |rel err| %", "max |rel err| %"},
+	}
+	for _, vs := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		cfg := c.BaseXbar()
+		cfg.Vsupply = vs
+
+		linCfg := cfg
+		linCfg.NonLinear = false
+		_, _, linCurr, err := sampleNF(linCfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		_, _, nlCurr, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		// Identical seeds give identical workloads, so the currents
+		// pair up.
+		var rel []float64
+		floor := 1e-4 * float64(cfg.Rows) * cfg.Vsupply * cfg.Gon()
+		for i := range linCurr {
+			if linCurr[i] > floor {
+				rel = append(rel, 100*math.Abs(nlCurr[i]-linCurr[i])/linCurr[i])
+			}
+		}
+		rs := linalg.Summarize(rel)
+		ls := linalg.Summarize(linCurr)
+		ns := linalg.Summarize(nlCurr)
+		t.AddRow(fmt.Sprintf("%.2f", vs), ls.Median*1e6, ns.Median*1e6, rs.Mean, rs.Max)
+		c.logf("  Vsupply=%.2f done", vs)
+	}
+	t.Note("relative error between the two cases grows with supply voltage (paper Fig 3b)")
+	return t, nil
+}
+
+// Fig3RelErrors exposes the per-voltage mean relative error for tests:
+// the series must be increasing in Vsupply.
+func Fig3RelErrors(c *Context, voltages []float64) ([]float64, error) {
+	out := make([]float64, 0, len(voltages))
+	for _, vs := range voltages {
+		cfg := c.BaseXbar()
+		cfg.Vsupply = vs
+		linCfg := cfg
+		linCfg.NonLinear = false
+		_, _, linCurr, err := sampleNF(linCfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		_, _, nlCurr, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		n := 0
+		floor := 1e-4 * float64(cfg.Rows) * cfg.Vsupply * cfg.Gon()
+		for i := range linCurr {
+			if linCurr[i] > floor {
+				sum += math.Abs(nlCurr[i]-linCurr[i]) / linCurr[i]
+				n++
+			}
+		}
+		out = append(out, sum/float64(n))
+	}
+	return out, nil
+}

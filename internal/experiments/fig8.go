@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"geniex/internal/funcsim"
+	"geniex/internal/quant"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "8",
+		Title: "Fig 8: impact of weight/activation precision under non-idealities",
+		Run:   fig8,
+	})
+}
+
+// PrecisionFormat returns the FxP format used for a precision point:
+// bits total with bits−3 fractional (so 16-bit matches the paper's
+// 16.13 format and every precision keeps the same ±4 dynamic range).
+func PrecisionFormat(bits int) quant.FxP {
+	return quant.FxP{Bits: bits, Frac: bits - 3}
+}
+
+// fig8 sweeps weight/activation precision (16, 8, 4 bits) for the
+// three simulation modes (Ideal FxP, analytical, GENIEx) on both
+// datasets, reproducing the layout of Fig. 8.
+func fig8(c *Context) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 8 — accuracy vs weight/activation precision",
+		Columns: []string{"dataset", "bits", "ideal FxP %", "analytical %", "GENIEx %"},
+	}
+	datasets := []string{"cifar", "imagenet"}
+	if c.Scale.Name == "tiny" {
+		datasets = []string{"cifar"} // the 32×32 set is too slow for unit tests
+	}
+	for _, name := range datasets {
+		t.Note("%s float32 accuracy: %.2f%%", name, 100*c.FloatAccuracy(name))
+		for _, bits := range []int{16, 8, 4} {
+			row, err := Fig8Row(c, name, bits)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, bits, 100*row[0], 100*row[1], 100*row[2])
+			c.logf("  %s %d-bit: ideal=%.2f%% analytical=%.2f%% geniex=%.2f%%",
+				name, bits, 100*row[0], 100*row[1], 100*row[2])
+		}
+	}
+	t.Note("stream/slice widths are capped at the operand width for the 4-bit points")
+	t.Note("paper: non-idealities hurt more at lower precision; analytical overestimates the loss")
+	return t, nil
+}
+
+// Fig8Row computes the (ideal, analytical, GENIEx) accuracies for one
+// dataset/precision point; exported for tests and benchmarks.
+func Fig8Row(c *Context, name string, bits int) ([3]float64, error) {
+	var out [3]float64
+	simCfg := c.BaseSimConfig()
+	simCfg.Weight = PrecisionFormat(bits)
+	simCfg.Act = PrecisionFormat(bits)
+	if simCfg.StreamBits > bits {
+		simCfg.StreamBits = bits
+	}
+	if simCfg.SliceBits > bits {
+		simCfg.SliceBits = bits
+	}
+
+	ideal, err := c.SimAccuracy(name, simCfg, funcsim.Ideal{})
+	if err != nil {
+		return out, err
+	}
+	ana, err := c.SimAccuracy(name, simCfg, funcsim.Analytical{Cfg: simCfg.Xbar})
+	if err != nil {
+		return out, err
+	}
+	model, err := c.GENIEx(simCfg.Xbar)
+	if err != nil {
+		return out, err
+	}
+	gx, err := c.SimAccuracy(name, simCfg, funcsim.GENIEx{Model: model})
+	if err != nil {
+		return out, err
+	}
+	out[0], out[1], out[2] = ideal, ana, gx
+	return out, nil
+}
+
+// fig9 lives here too: it shares all of fig8's machinery.
+func init() {
+	register(Experiment{
+		ID:    "9",
+		Title: "Fig 9: impact of stream (input) and slice (weight) bit widths",
+		Run:   fig9,
+	})
+}
+
+// fig9 sweeps the stream/slice width grid {1, 2, 4}² at 16-bit
+// operand precision in GENIEx mode.
+func fig9(c *Context) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 9 — accuracy vs bits/stream and bits/slice (SynthCIFAR, GENIEx mode)",
+		Columns: []string{"stream bits", "slice bits", "accuracy %", "degradation vs ideal FxP %"},
+	}
+	idealAcc, err := c.SimAccuracy("cifar", c.BaseSimConfig(), funcsim.Ideal{})
+	if err != nil {
+		return nil, err
+	}
+	t.Note("ideal FxP accuracy: %.2f%%", 100*idealAcc)
+	for _, sa := range []int{1, 2, 4} {
+		for _, sw := range []int{1, 2, 4} {
+			acc, err := Fig9Point(c, sa, sw)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(sa, sw, 100*acc, 100*(idealAcc-acc))
+			c.logf("  stream=%d slice=%d: acc=%.2f%%", sa, sw, 100*acc)
+		}
+	}
+	t.Note("paper: 1-2 bit streams/slices stay near ideal FxP; 4-bit degrades ~12%%")
+	return t, nil
+}
+
+// Fig9Point evaluates one grid point of Fig. 9 in GENIEx mode (the
+// surrogate for the base design point is cached on the context).
+func Fig9Point(c *Context, streamBits, sliceBits int) (float64, error) {
+	simCfg := c.BaseSimConfig()
+	simCfg.StreamBits = streamBits
+	simCfg.SliceBits = sliceBits
+	gx, err := c.GENIEx(simCfg.Xbar)
+	if err != nil {
+		return 0, err
+	}
+	return c.SimAccuracy("cifar", simCfg, funcsim.GENIEx{Model: gx})
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"geniex/internal/quant"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: functional simulator parameters",
+		Run:   table3,
+	})
+}
+
+// table3 prints the functional simulator's parameter inventory at the
+// context's scale, mirroring Table 3 of the paper.
+func table3(c *Context) (*Table, error) {
+	cfg := c.BaseSimConfig()
+	t := &Table{
+		Title:   "Table 3 — functional simulator parameters",
+		Columns: []string{"component", "parameter", "value"},
+	}
+	t.AddRow("Tiling", "crossbar size", fmt.Sprintf("%dx%d", cfg.Xbar.Rows, cfg.Xbar.Cols))
+	t.AddRow("Bit-slicing", "weight bits", fmt.Sprintf("%d (%d fractional)", cfg.Weight.Bits, cfg.Weight.Frac))
+	t.AddRow("Bit-slicing", "activation bits", fmt.Sprintf("%d (%d fractional)", cfg.Act.Bits, cfg.Act.Frac))
+	t.AddRow("Bit-slicing", "stream width", cfg.StreamBits)
+	t.AddRow("Bit-slicing", "slice width", cfg.SliceBits)
+	t.AddRow("Bit-slicing", "streams per activation", quant.NumDigits(cfg.Act.Bits, cfg.StreamBits))
+	t.AddRow("Bit-slicing", "slices per weight", quant.NumDigits(cfg.Weight.Bits, cfg.SliceBits))
+	t.AddRow("Bit-slicing", "ADC bits", cfg.ADCBits)
+	t.AddRow("Bit-slicing", "accumulator", fmt.Sprintf("%d-bit (%d fractional)", cfg.Acc.Bits, cfg.Acc.Frac))
+	t.AddRow("GENIEx", "Ron", fmt.Sprintf("%.0f kΩ", cfg.Xbar.Ron/1e3))
+	t.AddRow("GENIEx", "ON/OFF ratio", cfg.Xbar.OnOffRatio)
+	t.AddRow("GENIEx", "Rsource", fmt.Sprintf("%g Ω", cfg.Xbar.Rsource))
+	t.AddRow("GENIEx", "Rsink", fmt.Sprintf("%g Ω", cfg.Xbar.Rsink))
+	t.AddRow("GENIEx", "Rwire", fmt.Sprintf("%g Ω/cell", cfg.Xbar.Rwire))
+	t.AddRow("GENIEx", "Vsupply", fmt.Sprintf("%g V", cfg.Xbar.Vsupply))
+	t.AddRow("GENIEx", "hidden units", c.Scale.GENIExHidden)
+	return t, nil
+}

@@ -1,0 +1,376 @@
+package funcsim
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+	"geniex/internal/quant"
+	"geniex/internal/xbar"
+)
+
+// Config gathers the architecture parameters of the functional
+// simulator (Table 3 of the paper).
+type Config struct {
+	// Xbar is the crossbar design point; its Rows×Cols is the tile
+	// size.
+	Xbar xbar.Config
+	// Weight and Act are the fixed-point formats of weights and
+	// activations.
+	Weight, Act quant.FxP
+	// StreamBits and SliceBits are the input-stream and weight-slice
+	// digit widths.
+	StreamBits, SliceBits int
+	// ADCBits sets the converter resolution at each bit line.
+	ADCBits int
+	// Acc is the saturating output accumulator.
+	Acc quant.Acc
+}
+
+// DefaultConfig returns the paper's nominal architecture: 16-bit
+// (13 fractional) weights and activations, 4-bit streams and slices,
+// 14-bit ADC, 32-bit accumulator with 24 fractional bits.
+func DefaultConfig() Config {
+	return Config{
+		Xbar:       xbar.DefaultConfig(),
+		Weight:     quant.FxP{Bits: 16, Frac: 13},
+		Act:        quant.FxP{Bits: 16, Frac: 13},
+		StreamBits: 4,
+		SliceBits:  4,
+		ADCBits:    14,
+		Acc:        quant.Acc{Bits: 32, Frac: 24},
+	}
+}
+
+// Validate reports whether the configuration is consistent.
+func (c Config) Validate() error {
+	if err := c.Xbar.Validate(); err != nil {
+		return err
+	}
+	if err := c.Weight.Validate(); err != nil {
+		return err
+	}
+	if err := c.Act.Validate(); err != nil {
+		return err
+	}
+	if c.StreamBits < 1 || c.StreamBits > c.Act.Bits {
+		return fmt.Errorf("funcsim: stream width %d invalid for %d-bit activations", c.StreamBits, c.Act.Bits)
+	}
+	if c.SliceBits < 1 || c.SliceBits > c.Weight.Bits {
+		return fmt.Errorf("funcsim: slice width %d invalid for %d-bit weights", c.SliceBits, c.Weight.Bits)
+	}
+	if c.ADCBits < 1 || c.ADCBits > 40 {
+		return fmt.Errorf("funcsim: ADC bits %d out of range", c.ADCBits)
+	}
+	if c.Acc.Bits < 2 || c.Acc.Bits > 62 || c.Acc.Frac < 0 || c.Acc.Frac >= c.Acc.Bits {
+		return fmt.Errorf("funcsim: accumulator %d.%d invalid", c.Acc.Bits, c.Acc.Frac)
+	}
+	return nil
+}
+
+// streamDigits returns how many input streams cover one activation
+// magnitude (Bits−1 bits: the engine quantizes symmetrically and keeps
+// the sign in the differential pass structure).
+func (c Config) streamDigits() int { return quant.NumDigits(c.Act.Bits-1, c.StreamBits) }
+
+// sliceDigits returns how many weight slices cover one weight
+// magnitude.
+func (c Config) sliceDigits() int { return quant.NumDigits(c.Weight.Bits-1, c.SliceBits) }
+
+// Engine lowers real-valued weight matrices onto crossbar tiles and
+// executes MVMs through a pluggable analog model.
+//
+// Signed arithmetic uses differential sign-magnitude encoding, the
+// scheme real crossbar accelerators use: each weight block maps to a
+// positive and (when needed) a negative crossbar holding the
+// magnitudes of the corresponding weights, and the digital periphery
+// subtracts the two column outputs. Inputs are likewise split into
+// positive and negative magnitude passes. This preserves the high
+// sparsity of bit-sliced DNN tensors (zero weight → Goff, zero
+// activation → 0 V), which the paper's dataset generation explicitly
+// models, and it keeps analog error proportional to the actual signal
+// instead of a full-scale offset.
+type Engine struct {
+	cfg   Config
+	model Model
+}
+
+// NewEngine creates an engine. The model's tile size must match
+// cfg.Xbar.
+func NewEngine(cfg Config, model Model) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, model: model}, nil
+}
+
+// Config returns the engine's architecture parameters.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ModelName reports which analog model the engine uses.
+func (e *Engine) ModelName() string { return e.model.Name() }
+
+// loweredTile is one (tileRow, tileCol) block: the positive-magnitude
+// crossbars (one per weight slice) and, if the block has any negative
+// weights, the negative-magnitude crossbars.
+type loweredTile struct {
+	pos []Tile
+	neg []Tile // nil when the block is all-non-negative
+}
+
+// Matrix is a weight matrix lowered onto crossbar tiles, ready to
+// execute MVMs.
+type Matrix struct {
+	eng       *Engine
+	in, out   int
+	tileRows  int
+	tileCols  int
+	tiles     [][]loweredTile // [tileRow][tileCol]
+	crossbars int
+	stats     Stats
+}
+
+// Lower maps a real-valued in×out weight matrix onto crossbar tiles:
+// symmetric quantization → sign-magnitude split → slice digits →
+// conductances.
+func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
+	cfg := e.cfg
+	n, mcols := cfg.Xbar.Rows, cfg.Xbar.Cols
+	in, out := w.Rows, w.Cols
+	kw := cfg.sliceDigits()
+	wmax := float64(int64(1)<<cfg.SliceBits) - 1
+
+	lm := &Matrix{
+		eng: e, in: in, out: out,
+		tileRows: (in + n - 1) / n,
+		tileCols: (out + mcols - 1) / mcols,
+	}
+	lm.tiles = make([][]loweredTile, lm.tileRows)
+	for tr := range lm.tiles {
+		lm.tiles[tr] = make([]loweredTile, lm.tileCols)
+		for tc := range lm.tiles[tr] {
+			lt := &lm.tiles[tr][tc]
+			posG := make([]*linalg.Dense, kw)
+			negG := make([]*linalg.Dense, kw)
+			for l := 0; l < kw; l++ {
+				posG[l] = linalg.NewDense(n, mcols)
+				negG[l] = linalg.NewDense(n, mcols)
+				linalg.Fill(posG[l].Data, cfg.Xbar.Goff())
+				linalg.Fill(negG[l].Data, cfg.Xbar.Goff())
+			}
+			hasNeg := false
+			for i := 0; i < n; i++ {
+				for j := 0; j < mcols; j++ {
+					gi, gj := tr*n+i, tc*mcols+j
+					var q int64 // padding encodes weight 0
+					if gi < in && gj < out {
+						q = cfg.Weight.QuantizeSymmetric(w.At(gi, gj))
+					}
+					mag := uint64(q)
+					dst := posG
+					if q < 0 {
+						mag = uint64(-q)
+						dst = negG
+						hasNeg = true
+					}
+					for l, d := range quant.Digits(mag, cfg.SliceBits, kw) {
+						dst[l].Set(i, j, cfg.Xbar.Goff()+float64(d)/wmax*(cfg.Xbar.Gon()-cfg.Xbar.Goff()))
+					}
+				}
+			}
+			var err error
+			if lt.pos, err = e.buildTiles(posG); err != nil {
+				return nil, fmt.Errorf("funcsim: lowering tile (%d,%d): %w", tr, tc, err)
+			}
+			lm.crossbars += kw
+			if hasNeg {
+				if lt.neg, err = e.buildTiles(negG); err != nil {
+					return nil, fmt.Errorf("funcsim: lowering tile (%d,%d) neg: %w", tr, tc, err)
+				}
+				lm.crossbars += kw
+			}
+		}
+	}
+	return lm, nil
+}
+
+func (e *Engine) buildTiles(gs []*linalg.Dense) ([]Tile, error) {
+	tiles := make([]Tile, len(gs))
+	for l, g := range gs {
+		t, err := e.model.NewTile(g)
+		if err != nil {
+			return nil, fmt.Errorf("slice %d: %w", l, err)
+		}
+		tiles[l] = t
+	}
+	return tiles, nil
+}
+
+// In returns the logical input dimension of the lowered matrix.
+func (m *Matrix) In() int { return m.in }
+
+// Out returns the logical output dimension.
+func (m *Matrix) Out() int { return m.out }
+
+// Tiles returns the (tileRows, tileCols, slices-per-sign) counts.
+func (m *Matrix) Tiles() (tr, tc, slices int) {
+	return m.tileRows, m.tileCols, m.eng.cfg.sliceDigits()
+}
+
+// Crossbars returns the number of physical crossbars the matrix
+// occupies (positive + negative, all slices).
+func (m *Matrix) Crossbars() int { return m.crossbars }
+
+// inputBlock holds the digit-serial form of one tile row's activation
+// block for a whole batch and one sign.
+type inputBlock struct {
+	vb       *linalg.Dense // batch·ka × n stream voltages
+	digitSum []int64       // per (b, k): Σ_i digit
+	any      bool          // any non-zero digit at all
+}
+
+// MVM executes y = x·W through the crossbar pipeline for a batch of
+// real-valued inputs (batch×in). The result is batch×out in real
+// units (already dequantized from the accumulator).
+func (m *Matrix) MVM(x *linalg.Dense) (*linalg.Dense, error) {
+	if x.Cols != m.in {
+		return nil, fmt.Errorf("funcsim: MVM input has %d features, matrix expects %d", x.Cols, m.in)
+	}
+	cfg := m.eng.cfg
+	n, mcols := cfg.Xbar.Rows, cfg.Xbar.Cols
+	batch := x.Rows
+	ka := cfg.streamDigits()
+	amax := float64(int64(1)<<cfg.StreamBits) - 1
+	wmax := float64(int64(1)<<cfg.SliceBits) - 1
+	prodFrac := cfg.Act.Frac + cfg.Weight.Frac
+
+	adc := quant.ADC{
+		Bits:      cfg.ADCBits,
+		FullScale: float64(n) * cfg.Xbar.Vsupply * cfg.Xbar.Gon(),
+	}
+	// Digital back-conversion constants: the ideal column current is
+	//   I = (Vmax·ΔG)/(amax·wmax) · Σ dA·dW  +  Vmax·Goff/amax · Σ dA,
+	// so p = I·scale − kg·Σ dA recovers the integer digit dot product.
+	scale := amax * wmax / (cfg.Xbar.Vsupply * (cfg.Xbar.Gon() - cfg.Xbar.Goff()))
+	kg := cfg.Xbar.Goff() * wmax / (cfg.Xbar.Gon() - cfg.Xbar.Goff())
+
+	accOut := make([]int64, batch*m.out)
+	m.stats.MVMRows += int64(batch)
+
+	for tr := 0; tr < m.tileRows; tr++ {
+		blocks, err := m.quantizeBlock(x, tr)
+		if err != nil {
+			return nil, err
+		}
+		for tc := 0; tc < m.tileCols; tc++ {
+			lt := &m.tiles[tr][tc]
+			// signedDot accumulates the shift-and-add merged digit
+			// partial products with differential signs.
+			signedDot := make([]int64, batch*mcols)
+			runPass := func(tiles []Tile, blk *inputBlock, sign int64) error {
+				if tiles == nil || !blk.any {
+					m.stats.SkippedPasses++
+					return nil
+				}
+				for l, tile := range tiles {
+					curr, err := tile.Currents(blk.vb)
+					if err != nil {
+						return fmt.Errorf("funcsim: tile (%d,%d) slice %d: %w", tr, tc, l, err)
+					}
+					for b := 0; b < batch; b++ {
+						for k := 0; k < ka; k++ {
+							if blk.digitSum[b*ka+k] == 0 {
+								continue // all-zero stream: nothing to add
+							}
+							m.stats.CrossbarOps++
+							m.stats.ADCConversions += int64(mcols)
+							m.stats.ShiftAdds += int64(mcols)
+							crow := curr.Row(b*ka + k)
+							shift := uint(k*cfg.StreamBits + l*cfg.SliceBits)
+							off := kg * float64(blk.digitSum[b*ka+k])
+							for j := 0; j < mcols; j++ {
+								p := int64(math.Round(adc.Convert(crow[j])*scale - off))
+								signedDot[b*mcols+j] += sign * (p << shift)
+							}
+						}
+					}
+				}
+				return nil
+			}
+			if err := runPass(lt.pos, &blocks[0], 1); err != nil {
+				return nil, err
+			}
+			if err := runPass(lt.neg, &blocks[0], -1); err != nil {
+				return nil, err
+			}
+			if err := runPass(lt.pos, &blocks[1], -1); err != nil {
+				return nil, err
+			}
+			if err := runPass(lt.neg, &blocks[1], 1); err != nil {
+				return nil, err
+			}
+			for b := 0; b < batch; b++ {
+				for j := 0; j < mcols; j++ {
+					gj := tc*mcols + j
+					if gj >= m.out {
+						continue
+					}
+					part := cfg.Acc.Rescale(signedDot[b*mcols+j], prodFrac)
+					idx := b*m.out + gj
+					accOut[idx] = cfg.Acc.Add(accOut[idx], part)
+					m.stats.AccOps++
+				}
+			}
+		}
+	}
+
+	out := linalg.NewDense(batch, m.out)
+	for i, v := range accOut {
+		out.Data[i] = cfg.Acc.Dequantize(v)
+	}
+	return out, nil
+}
+
+// quantizeBlock converts one tile row's activation block into the
+// positive and negative digit-serial input blocks.
+func (m *Matrix) quantizeBlock(x *linalg.Dense, tr int) ([2]inputBlock, error) {
+	cfg := m.eng.cfg
+	n := cfg.Xbar.Rows
+	batch := x.Rows
+	ka := cfg.streamDigits()
+	amax := float64(int64(1)<<cfg.StreamBits) - 1
+
+	var blocks [2]inputBlock
+	for s := range blocks {
+		blocks[s].vb = linalg.NewDense(batch*ka, n)
+		blocks[s].digitSum = make([]int64, batch*ka)
+	}
+	for b := 0; b < batch; b++ {
+		row := x.Row(b)
+		for i := 0; i < n; i++ {
+			var q int64 // padding encodes activation 0
+			if gi := tr*n + i; gi < m.in {
+				q = cfg.Act.QuantizeSymmetric(row[gi])
+			}
+			if q == 0 {
+				continue
+			}
+			s := 0
+			mag := uint64(q)
+			if q < 0 {
+				s = 1
+				mag = uint64(-q)
+			}
+			blk := &blocks[s]
+			blk.any = true
+			for k, d := range quant.Digits(mag, cfg.StreamBits, ka) {
+				if d == 0 {
+					continue
+				}
+				blk.vb.Set(b*ka+k, i, float64(d)/amax*cfg.Xbar.Vsupply)
+				blk.digitSum[b*ka+k] += int64(d)
+			}
+		}
+	}
+	return blocks, nil
+}

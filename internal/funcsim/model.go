@@ -1,0 +1,145 @@
+// Package funcsim is the functional simulator of Section 5 of the
+// paper: it executes DNN inference the way a crossbar accelerator
+// would — convolutions unrolled into repeated MVMs (iterative-mvm),
+// weight matrices partitioned onto fixed-size crossbars (tiling), and
+// operands processed digit-serially (bit-slicing into input streams
+// and weight slices) with ADC quantization and shift-and-add merging.
+//
+// The analog behaviour of each crossbar is pluggable through the Model
+// interface; the package ships four implementations matching the
+// paper's simulation modes:
+//
+//   - Ideal: exact analog MVM (the "Ideal FxP" baseline),
+//   - Analytical: linear parasitic distortion via a precomputed
+//     distortion matrix (the paper's baseline model),
+//   - GENIEx: the trained neural surrogate from package core,
+//   - Circuit: the full non-linear solver (HSPICE stand-in; slow,
+//     used for validation).
+package funcsim
+
+import (
+	"fmt"
+
+	"geniex/internal/core"
+	"geniex/internal/linalg"
+	"geniex/internal/xbar"
+)
+
+// Model produces per-tile analog MVM evaluators. NewTile is called
+// once per (tile, weight-slice) during lowering, so implementations
+// can do expensive per-conductance-matrix work there.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// NewTile prepares an evaluator for a crossbar programmed with g
+	// (Rows×Cols physical conductances).
+	NewTile(g *linalg.Dense) (Tile, error)
+}
+
+// Tile computes analog output currents for batches of drive voltages.
+type Tile interface {
+	// Currents maps a batch of voltage vectors (batch×Rows, volts) to
+	// output currents (batch×Cols, amperes).
+	Currents(v *linalg.Dense) (*linalg.Dense, error)
+}
+
+// Ideal is the error-free analog model.
+type Ideal struct{}
+
+// Name implements Model.
+func (Ideal) Name() string { return "ideal" }
+
+// NewTile implements Model.
+func (Ideal) NewTile(g *linalg.Dense) (Tile, error) {
+	return idealTile{g: g.Clone()}, nil
+}
+
+type idealTile struct{ g *linalg.Dense }
+
+func (t idealTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
+	return linalg.MatMul(v, t.g), nil
+}
+
+// Analytical wraps the linear-parasitics distortion-matrix model.
+type Analytical struct {
+	Cfg xbar.Config
+}
+
+// Name implements Model.
+func (Analytical) Name() string { return "analytical" }
+
+// NewTile implements Model.
+func (m Analytical) NewTile(g *linalg.Dense) (Tile, error) {
+	a, err := xbar.NewAnalytical(m.Cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	// Currents = V·Aᵀ for batches.
+	return analyticalTile{at: a.Matrix().T()}, nil
+}
+
+type analyticalTile struct{ at *linalg.Dense }
+
+func (t analyticalTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
+	return linalg.MatMul(v, t.at), nil
+}
+
+// GENIEx evaluates tiles through a trained core.Model surrogate.
+type GENIEx struct {
+	Model *core.Model
+}
+
+// Name implements Model.
+func (GENIEx) Name() string { return "geniex" }
+
+// NewTile implements Model.
+func (m GENIEx) NewTile(g *linalg.Dense) (Tile, error) {
+	if g.Rows != m.Model.Cfg.Rows || g.Cols != m.Model.Cfg.Cols {
+		return nil, fmt.Errorf("funcsim: GENIEx model is %dx%d, tile is %dx%d",
+			m.Model.Cfg.Rows, m.Model.Cfg.Cols, g.Rows, g.Cols)
+	}
+	return &geniexTile{m: m.Model, g: g.Clone(), ctx: m.Model.NewGContext(g)}, nil
+}
+
+type geniexTile struct {
+	m   *core.Model
+	g   *linalg.Dense
+	ctx *core.GContext
+}
+
+func (t *geniexTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
+	ideal := linalg.MatMul(v, t.g)
+	fr := t.m.PredictWithContext(v, t.ctx)
+	out := linalg.NewDense(ideal.Rows, ideal.Cols)
+	for b := 0; b < ideal.Rows; b++ {
+		copy(out.Row(b), xbar.ApplyRatio(ideal.Row(b), fr.Row(b)))
+	}
+	return out, nil
+}
+
+// Circuit runs the full non-linear solver per tile — the ground-truth
+// mode. It is orders of magnitude slower than the other models and
+// exists for validation on small workloads.
+type Circuit struct {
+	Cfg xbar.Config
+}
+
+// Name implements Model.
+func (Circuit) Name() string { return "circuit" }
+
+// NewTile implements Model.
+func (m Circuit) NewTile(g *linalg.Dense) (Tile, error) {
+	if err := m.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return circuitTile{cfg: m.Cfg, g: g.Clone()}, nil
+}
+
+type circuitTile struct {
+	cfg xbar.Config
+	g   *linalg.Dense
+}
+
+func (t circuitTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
+	return xbar.BatchSolve(t.cfg, t.g, v)
+}

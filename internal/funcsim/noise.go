@@ -1,0 +1,85 @@
+package funcsim
+
+import (
+	"fmt"
+	"sync"
+
+	"geniex/internal/linalg"
+)
+
+// Noisy wraps an analog model with stochastic read noise: every sensed
+// column current is perturbed by zero-mean Gaussian noise whose
+// standard deviation is Sigma × the column's full-scale current. This
+// models the thermal/shot-noise error sources analysed by the AMS
+// framework the paper compares against (Table 1) and is independent of
+// the deterministic distortions the wrapped model produces.
+//
+// Noise is deterministic given the Seed: each tile derives its own
+// stream, and draws advance with every Currents call, so repeated runs
+// of the same workload see identical noise.
+type Noisy struct {
+	// Inner is the analog model being perturbed.
+	Inner Model
+	// Sigma is the noise standard deviation as a fraction of the
+	// crossbar full-scale current.
+	Sigma float64
+	// FullScale is the full-scale current (amperes); zero derives it
+	// from nothing and is an error — callers pass
+	// rows·Vsupply·Gon of their design point.
+	FullScale float64
+	// Seed drives the noise streams.
+	Seed uint64
+
+	mu    sync.Mutex
+	tiles int
+}
+
+// Name implements Model.
+func (n *Noisy) Name() string { return n.Inner.Name() + "+noise" }
+
+// NewTile implements Model.
+func (n *Noisy) NewTile(g *linalg.Dense) (Tile, error) {
+	if n.Sigma < 0 {
+		return nil, fmt.Errorf("funcsim: negative noise sigma %g", n.Sigma)
+	}
+	if n.FullScale <= 0 {
+		return nil, fmt.Errorf("funcsim: noise wrapper needs a positive full-scale current")
+	}
+	inner, err := n.Inner.NewTile(g)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	id := n.tiles
+	n.tiles++
+	n.mu.Unlock()
+	return &noisyTile{
+		inner: inner,
+		std:   n.Sigma * n.FullScale,
+		rng:   linalg.NewRNG(n.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+	}, nil
+}
+
+type noisyTile struct {
+	inner Tile
+	std   float64
+	rng   *linalg.RNG
+}
+
+// Currents implements Tile.
+func (t *noisyTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
+	curr, err := t.inner.Currents(v)
+	if err != nil {
+		return nil, err
+	}
+	if t.std == 0 {
+		return curr, nil
+	}
+	for i := range curr.Data {
+		curr.Data[i] += t.rng.NormScaled(0, t.std)
+		if curr.Data[i] < 0 {
+			curr.Data[i] = 0 // a sense amplifier cannot report negative current
+		}
+	}
+	return curr, nil
+}

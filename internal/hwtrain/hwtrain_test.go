@@ -1,0 +1,208 @@
+package hwtrain
+
+import (
+	"testing"
+
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/linalg"
+	"geniex/internal/models"
+	"geniex/internal/nn"
+	"geniex/internal/quant"
+)
+
+// harshSim returns a simulator configuration with strong distortion so
+// retraining has something to recover.
+func harshSim() funcsim.Config {
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = 8, 8
+	cfg.Xbar.Ron = 25e3
+	cfg.Xbar.OnOffRatio = 2
+	cfg.Xbar.Rwire = 25
+	cfg.Weight = quant.FxP{Bits: 8, Frac: 4}
+	cfg.Act = quant.FxP{Bits: 8, Frac: 4}
+	cfg.StreamBits, cfg.SliceBits = 2, 2
+	return cfg
+}
+
+func TestWrapNetworkSharesParams(t *testing.T) {
+	r := linalg.NewRNG(1)
+	net := nn.NewSequential(
+		nn.NewLinear(8, 8, true, r),
+		nn.NewReLU(),
+		nn.NewResidual(nn.NewLinear(8, 8, true, r)),
+	)
+	eng, err := funcsim.NewEngine(harshSim(), funcsim.Ideal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := WrapNetwork(net, eng, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.Params()
+	b := wrapped.Params()
+	if len(a) != len(b) {
+		t.Fatalf("param count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d not shared", i)
+		}
+	}
+}
+
+func TestWrappedForwardMatchesSimLowering(t *testing.T) {
+	r := linalg.NewRNG(2)
+	net := nn.NewSequential(nn.NewLinear(8, 8, true, r))
+	cfg := harshSim()
+	eng, err := funcsim.NewEngine(cfg, funcsim.Analytical{Cfg: cfg.Xbar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := WrapNetwork(net, eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := linalg.NewDense(3, 8)
+	for i := range x.Data {
+		x.Data[i] = r.Norm() / 2
+	}
+	got := wrapped.Forward(x, false)
+
+	sim, err := funcsim.Lower(net, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("wrapped forward differs from lowered network at %d: %v vs %v",
+				i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// The straight-through gradients must point downhill: a few fine-tune
+// steps on the hardware forward must reduce the hardware-mode loss.
+func TestFineTuneReducesHardwareLoss(t *testing.T) {
+	r := linalg.NewRNG(3)
+	set := dataset.SynthCIFAR(64, 32, 4)
+	net := nn.NewSequential(
+		nn.NewFlatten(),
+		nn.NewLinear(set.Features(), 16, true, r),
+		nn.NewReLU(),
+		nn.NewLinear(16, set.Classes, true, r),
+	)
+	cfg := harshSim()
+	eng, err := funcsim.NewEngine(cfg, funcsim.Analytical{Cfg: cfg.Xbar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwLoss := func() float64 {
+		sim, err := funcsim.Lower(net, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits, err := sim.Forward(set.TrainX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, _ := nn.SoftmaxCrossEntropy(logits, set.TrainY)
+		return loss
+	}
+	before := hwLoss()
+	if err := FineTune(net, eng, set, Options{Epochs: 3, BatchSize: 16, LR: 0.02, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	after := hwLoss()
+	t.Logf("hardware-mode loss: before=%.4f after=%.4f", before, after)
+	if after >= before {
+		t.Errorf("fine-tuning did not reduce hardware loss: %v -> %v", before, after)
+	}
+}
+
+// End to end mitigation: on a harsh design point, hardware-aware
+// fine-tuning must recover accuracy relative to deploying the
+// float-trained weights directly.
+func TestFineTuneRecoversAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardware-in-the-loop training is slow")
+	}
+	set := dataset.SynthCIFAR(700, 100, 6)
+	// BatchNorm-free CNN: funcsim.Lower folds BatchNorm into conv
+	// weights at deployment, and those folded conductances distort
+	// differently from the unfolded weights the fine-tune loop lowers.
+	// Keeping the architecture BN-free makes the training-time and
+	// deployment-time hardware views identical (see the package doc).
+	r := linalg.NewRNG(7)
+	g1 := nn.ConvGeom{InC: set.C, InH: set.H, InW: set.W, OutC: 8, Kernel: 3, Stride: 1, Pad: 1}
+	g2 := nn.ConvGeom{InC: 8, InH: set.H / 2, InW: set.W / 2, OutC: 8, Kernel: 3, Stride: 1, Pad: 1}
+	net := nn.NewSequential(
+		nn.NewConv2D(g1, true, r),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(8, set.H, set.W, 2),
+		nn.NewConv2D(g2, true, r),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool2D(8, set.H/2, set.W/2),
+		nn.NewLinear(8, set.Classes, true, r),
+	)
+	if err := models.Train(net, set, models.TrainConfig{Epochs: 12, BatchSize: 32, LR: 0.05, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := harshSim()
+	eng, err := funcsim.NewEngine(cfg, funcsim.Analytical{Cfg: cfg.Xbar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwAcc := func() float64 {
+		sim, err := funcsim.Lower(net, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := models.Accuracy(sim.Forward, set.TestX, set.TestY, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	floatAcc := models.TestAccuracy(net, set, 64)
+	before := hwAcc()
+	if err := FineTune(net, eng, set, Options{Epochs: 3, BatchSize: 32, LR: 0.002, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	after := hwAcc()
+	t.Logf("accuracy: float=%.1f%% hw-before=%.1f%% hw-after=%.1f%%",
+		100*floatAcc, 100*before, 100*after)
+	if after <= before {
+		t.Errorf("fine-tuning did not recover accuracy: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestWrapRejectsUnknownMVMLayer(t *testing.T) {
+	eng, err := funcsim.NewEngine(harshSim(), funcsim.Ideal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newHWLayer(nn.NewReLU(), eng, 1); err == nil {
+		t.Error("expected error wrapping a non-MVM layer")
+	}
+}
+
+func TestWrapRejectsUnfoldedBatchNorm(t *testing.T) {
+	r := linalg.NewRNG(11)
+	net := nn.NewSequential(
+		nn.NewLinear(4, 4, true, r),
+		nn.NewBatchNorm(4, 1),
+	)
+	eng, err := funcsim.NewEngine(harshSim(), funcsim.Ideal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WrapNetwork(net, eng, 1); err == nil {
+		t.Error("expected rejection of conv/linear followed by BatchNorm")
+	}
+}

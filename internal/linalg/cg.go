@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// CGOptions controls the conjugate gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖b−Ax‖/‖b‖. Defaults to
+	// 1e-10 if zero.
+	Tol float64
+	// MaxIter caps the iteration count. Defaults to 4·n if zero.
+	MaxIter int
+}
+
+// CGWorkspace holds the scratch vectors for repeated CG solves of the
+// same dimension, so the Newton loop allocates nothing per iteration.
+type CGWorkspace struct {
+	r, z, p, ap, diag []float64
+}
+
+// NewCGWorkspace allocates scratch space for n-dimensional solves.
+func NewCGWorkspace(n int) *CGWorkspace {
+	return &CGWorkspace{
+		r:    make([]float64, n),
+		z:    make([]float64, n),
+		p:    make([]float64, n),
+		ap:   make([]float64, n),
+		diag: make([]float64, n),
+	}
+}
+
+// SolveCG solves A·x = b for symmetric positive definite A using
+// Jacobi-preconditioned conjugate gradients. x is used as the initial
+// guess and overwritten with the solution. Returns the iteration count
+// used, and ErrNoConvergence if the budget is exhausted.
+func SolveCG(a *CSR, b, x []float64, ws *CGWorkspace, opt CGOptions) (int, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("linalg: SolveCG dims n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
+	}
+	if ws == nil {
+		ws = NewCGWorkspace(n)
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 4 * n
+	}
+
+	a.Diag(ws.diag)
+	inv := ws.diag
+	for i, d := range inv {
+		if d == 0 {
+			inv[i] = 1 // degenerate row: fall back to identity preconditioning
+		} else {
+			inv[i] = 1 / d
+		}
+	}
+
+	// r = b − A·x
+	a.MulVec(x, ws.r)
+	for i := range ws.r {
+		ws.r[i] = b[i] - ws.r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		// x = 0 is the exact solution.
+		Fill(x, 0)
+		return 0, nil
+	}
+	if Norm2(ws.r)/bnorm <= tol {
+		return 0, nil
+	}
+
+	for i := range ws.z {
+		ws.z[i] = inv[i] * ws.r[i]
+	}
+	copy(ws.p, ws.z)
+	rz := Dot(ws.r, ws.z)
+
+	for k := 1; k <= maxIter; k++ {
+		a.MulVec(ws.p, ws.ap)
+		pap := Dot(ws.p, ws.ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return k, fmt.Errorf("linalg: CG breakdown (pᵀAp=%g); matrix not SPD?", pap)
+		}
+		alpha := rz / pap
+		Axpy(alpha, ws.p, x)
+		Axpy(-alpha, ws.ap, ws.r)
+		if Norm2(ws.r)/bnorm <= tol {
+			return k, nil
+		}
+		for i := range ws.z {
+			ws.z[i] = inv[i] * ws.r[i]
+		}
+		rzNew := Dot(ws.r, ws.z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range ws.p {
+			ws.p[i] = ws.z[i] + beta*ws.p[i]
+		}
+	}
+	return maxIter, ErrNoConvergence
+}

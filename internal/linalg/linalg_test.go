@@ -1,0 +1,494 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Error("split streams start identically")
+	}
+}
+
+func TestDotAxpy(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	y := Copy(b)
+	Axpy(2, a, y)
+	want := []float64{6, 9, 12}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestVectorOpsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestRMSE(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{2, 2, 2, 2}
+	if got := RMSE(a, b); got != 2 {
+		t.Errorf("RMSE = %v, want 2", got)
+	}
+	if got := RMSE(a, a); got != 0 {
+		t.Errorf("RMSE self = %v, want 0", got)
+	}
+}
+
+func TestDenseMatMulKnown(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range c.Data {
+		if v != want[i] {
+			t.Errorf("MatMul[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: MatMulATB(A, B) == MatMul(Aᵀ, B) and MatMulABT(A, B) ==
+// MatMul(A, Bᵀ) on random matrices.
+func TestMatMulVariantsAgree(t *testing.T) {
+	r := NewRNG(17)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+r.Intn(20), 1+r.Intn(20), 1+r.Intn(20)
+		a := NewDense(m, k)
+		b := NewDense(m, n)
+		c := NewDense(m, k)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Norm()
+		}
+		for i := range c.Data {
+			c.Data[i] = r.Norm()
+		}
+		atb := MatMulATB(a, b)
+		atbRef := MatMul(a.T(), b)
+		for i := range atb.Data {
+			if !almostEqual(atb.Data[i], atbRef.Data[i], 1e-12) {
+				t.Fatalf("ATB mismatch at %d: %v vs %v", i, atb.Data[i], atbRef.Data[i])
+			}
+		}
+		abt := MatMulABT(a, c)
+		abtRef := MatMul(a, c.T())
+		for i := range abt.Data {
+			if !almostEqual(abt.Data[i], abtRef.Data[i], 1e-12) {
+				t.Fatalf("ABT mismatch at %d: %v vs %v", i, abt.Data[i], abtRef.Data[i])
+			}
+		}
+	}
+}
+
+// Property: MatMul distributes over the identity (A·I = A).
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(15)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		id := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(i, i, 1)
+		}
+		c := MatMul(a, id)
+		for i := range c.Data {
+			if !almostEqual(c.Data[i], a.Data[i], 1e-14) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17, 1000} {
+		hit := make([]int32, n)
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hit[i]++
+			}
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestCSRAssembly(t *testing.T) {
+	// 3x3 with a duplicate entry that must be summed.
+	m := NewCSR(3, []Coord{
+		{0, 0, 2}, {0, 1, -1}, {1, 0, -1}, {1, 1, 2}, {1, 2, -1},
+		{2, 1, -1}, {2, 2, 2}, {0, 0, 1}, // duplicate (0,0) adds 1
+	})
+	d := m.Dense()
+	want := [][]float64{{3, -1, 0}, {-1, 2, -1}, {0, -1, 2}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != want[i][j] {
+				t.Errorf("CSR(%d,%d) = %v, want %v", i, j, d.At(i, j), want[i][j])
+			}
+		}
+	}
+	if m.NNZ() != 7 {
+		t.Errorf("NNZ = %d, want 7", m.NNZ())
+	}
+}
+
+// Property: CSR MulVec agrees with dense MulVec for random sparse
+// matrices.
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	r := NewRNG(23)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(30)
+		var coords []Coord
+		for k := 0; k < n*3; k++ {
+			coords = append(coords, Coord{r.Intn(n), r.Intn(n), r.Norm()})
+		}
+		m := NewCSR(n, coords)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		y := make([]float64, n)
+		m.MulVec(x, y)
+		ref := m.Dense().MulVec(x)
+		for i := range y {
+			if !almostEqual(y[i], ref[i], 1e-12) {
+				t.Fatalf("trial %d: MulVec[%d] = %v, want %v", trial, i, y[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPatternUpdate(t *testing.T) {
+	coords := []Coord{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}, {0, 0, 4}}
+	p := NewPattern(2, coords)
+	d := p.Matrix().Dense()
+	if d.At(0, 0) != 5 || d.At(0, 1) != 2 || d.At(1, 1) != 3 {
+		t.Fatalf("initial assembly wrong: %+v", d.Data)
+	}
+	coords2 := []Coord{{0, 0, 10}, {0, 1, 20}, {1, 1, 30}, {0, 0, 40}}
+	p.Update(coords2)
+	d = p.Matrix().Dense()
+	if d.At(0, 0) != 50 || d.At(0, 1) != 20 || d.At(1, 1) != 30 {
+		t.Fatalf("updated assembly wrong: %+v", d.Data)
+	}
+}
+
+// buildSPD returns a random symmetric diagonally dominant (hence SPD)
+// sparse matrix resembling a resistive network Laplacian.
+func buildSPD(r *RNG, n int) *CSR {
+	var coords []Coord
+	diag := make([]float64, n)
+	for i := 0; i < n-1; i++ {
+		g := 0.1 + r.Float64()
+		coords = append(coords, Coord{i, i + 1, -g}, Coord{i + 1, i, -g})
+		diag[i] += g
+		diag[i+1] += g
+	}
+	for i := 0; i < n; i++ {
+		diag[i] += 0.05 + r.Float64() // ground leak makes it strictly PD
+		coords = append(coords, Coord{i, i, diag[i]})
+	}
+	return NewCSR(n, coords)
+}
+
+// Property: the CG solution satisfies A·x = b to the requested
+// tolerance.
+func TestCGSolvesSPD(t *testing.T) {
+	r := NewRNG(31)
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(100)
+		a := buildSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Norm()
+		}
+		x := make([]float64, n)
+		_, err := SolveCG(a, b, x, nil, CGOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		y := make([]float64, n)
+		a.MulVec(x, y)
+		if res := Norm2(Sub(b, y)) / Norm2(b); res > 1e-10 {
+			t.Errorf("trial %d: residual %v", trial, res)
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	r := NewRNG(37)
+	a := buildSPD(r, 10)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = 1 // nonzero initial guess must be reset
+	}
+	iters, err := SolveCG(a, make([]float64, 10), x, nil, CGOptions{})
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: iters=%d err=%v", iters, err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	r := NewRNG(41)
+	a := buildSPD(r, 200)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	cold := make([]float64, 200)
+	coldIters, err := SolveCG(a, b, cold, nil, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start from the solution: should converge immediately.
+	warm := Copy(cold)
+	warmIters, err := SolveCG(a, b, warm, nil, CGOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm start took %d iters, cold %d", warmIters, coldIters)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{2, 1, 1, 3})
+	x, err := SolveDense(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: LU solve reproduces b for random well-conditioned systems.
+func TestLURoundTrip(t *testing.T) {
+	r := NewRNG(43)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(25)
+		a := NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.Norm()
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-9) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Min != 1 || s.Max != 4 || s.Median != 2.5 || s.Mean != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.N != 4 {
+		t.Errorf("N = %d", s.N)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 5 {
+		t.Error("quantile edge values wrong")
+	}
+	if Quantile(sorted, 0.5) != 3 {
+		t.Errorf("median = %v", Quantile(sorted, 0.5))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 0.5, 0.99, 1.0, -1}, 2, 0, 1)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("dims: %d edges, %d counts", len(edges), len(counts))
+	}
+	if counts[0] != 1 || counts[1] != 3 {
+		t.Errorf("counts = %v, want [1 3]", counts)
+	}
+}
+
+func TestCGBreaksDownOnIndefinite(t *testing.T) {
+	// A matrix with a negative eigenvalue must trigger the SPD guard.
+	m := NewCSR(2, []Coord{{0, 0, 1}, {1, 1, -1}})
+	x := make([]float64, 2)
+	_, err := SolveCG(m, []float64{1, 1}, x, nil, CGOptions{MaxIter: 10})
+	if err == nil {
+		t.Error("expected breakdown error for indefinite matrix")
+	}
+}
+
+func TestPatternUpdateMismatchPanics(t *testing.T) {
+	p := NewPattern(2, []Coord{{0, 0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong triplet count")
+		}
+	}()
+	p.Update([]Coord{{0, 0, 1}, {1, 1, 1}})
+}
+
+func TestNormInf(t *testing.T) {
+	if NormInf(nil) != 0 {
+		t.Error("NormInf(nil) != 0")
+	}
+	if got := NormInf([]float64{-3, 2, 1}); got != 3 {
+		t.Errorf("NormInf = %v, want 3", got)
+	}
+}
+
+func TestDenseMulVecPanics(t *testing.T) {
+	m := NewDense(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for dimension mismatch")
+		}
+	}()
+	m.MulVec(make([]float64, 2))
+}
+
+func TestCSRFindMissingPanics(t *testing.T) {
+	m := NewCSR(2, []Coord{{0, 0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for absent entry")
+		}
+	}()
+	m.find(0, 1)
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRNG(51)
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = r.Norm()
+	}
+	s := Summarize(vals) // sorts internally; reuse for sanity
+	if s.Q1 > s.Median || s.Median > s.Q3 {
+		t.Errorf("quartiles out of order: %+v", s)
+	}
+}

@@ -1,0 +1,197 @@
+package linalg
+
+import "fmt"
+
+// Coord is a single (row, col, value) triplet used while assembling a
+// sparse matrix.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix. Build one from triplets with
+// NewCSR; duplicate triplets are summed, matching the usual finite
+// element / nodal-analysis assembly convention.
+type CSR struct {
+	N       int // square dimension
+	RowPtr  []int
+	ColIdx  []int
+	Val     []float64
+	diagIdx []int // index into Val of the diagonal entry per row, -1 if absent
+}
+
+// NewCSR assembles an n×n sparse matrix from triplets, summing
+// duplicates. It panics on out-of-range indices.
+func NewCSR(n int, coords []Coord) *CSR {
+	counts := make([]int, n+1)
+	for _, c := range coords {
+		if c.Row < 0 || c.Row >= n || c.Col < 0 || c.Col >= n {
+			panic(fmt.Sprintf("linalg: CSR triplet (%d,%d) out of range for n=%d", c.Row, c.Col, n))
+		}
+		counts[c.Row+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	// Bucket triplets by row.
+	colIdx := make([]int, len(coords))
+	val := make([]float64, len(coords))
+	next := make([]int, n)
+	copy(next, counts[:n])
+	for _, c := range coords {
+		p := next[c.Row]
+		colIdx[p] = c.Col
+		val[p] = c.Val
+		next[c.Row]++
+	}
+	// Sort within each row (insertion sort; rows are short) and merge
+	// duplicates in place.
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	outCol := colIdx[:0]
+	outVal := val[:0]
+	written := 0
+	for i := 0; i < n; i++ {
+		lo, hi := counts[i], counts[i+1]
+		seg := colIdx[lo:hi]
+		sv := val[lo:hi]
+		for a := 1; a < len(seg); a++ {
+			c, v := seg[a], sv[a]
+			b := a - 1
+			for b >= 0 && seg[b] > c {
+				seg[b+1], sv[b+1] = seg[b], sv[b]
+				b--
+			}
+			seg[b+1], sv[b+1] = c, v
+		}
+		rowStart := written
+		for a := 0; a < len(seg); a++ {
+			if written > rowStart && outCol[written-1] == seg[a] {
+				outVal[written-1] += sv[a]
+				continue
+			}
+			outCol = append(outCol[:written], seg[a])
+			outVal = append(outVal[:written], sv[a])
+			written++
+		}
+		m.RowPtr[i+1] = written
+	}
+	m.ColIdx = outCol[:written]
+	m.Val = outVal[:written]
+	m.buildDiagIndex()
+	return m
+}
+
+func (m *CSR) buildDiagIndex() {
+	m.diagIdx = make([]int, m.N)
+	for i := 0; i < m.N; i++ {
+		m.diagIdx[i] = -1
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p] == i {
+				m.diagIdx[i] = p
+				break
+			}
+		}
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = M·x into the provided y slice (overwritten). It
+// panics on dimension mismatch.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic(fmt.Sprintf("linalg: CSR MulVec dims n=%d len(x)=%d len(y)=%d", m.N, len(x), len(y)))
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag copies the diagonal of M into out (which must have length N).
+// Missing diagonal entries are reported as 0.
+func (m *CSR) Diag(out []float64) {
+	if len(out) != m.N {
+		panic("linalg: CSR Diag length mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		if p := m.diagIdx[i]; p >= 0 {
+			out[i] = m.Val[p]
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// Dense expands M to a dense matrix, mainly for tests and debugging.
+func (m *CSR) Dense() *Dense {
+	out := NewDense(m.N, m.N)
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, m.ColIdx[p], m.Val[p])
+		}
+	}
+	return out
+}
+
+// Pattern captures the sparsity structure of a CSR matrix so matrices
+// with identical structure can be re-assembled without re-sorting.
+// Nodal analysis Jacobians have a fixed pattern across Newton
+// iterations; reusing it removes assembly from the hot loop.
+type Pattern struct {
+	csr  *CSR  // matrix being updated in place
+	slot []int // for each original triplet, index into csr.Val
+}
+
+// NewPattern assembles the matrix once from coords and remembers where
+// each triplet landed. Update then refreshes values in place.
+func NewPattern(n int, coords []Coord) *Pattern {
+	// Assemble with unique slot tracking: tag each triplet with its
+	// index via a parallel build.
+	m := NewCSR(n, coords)
+	p := &Pattern{csr: m, slot: make([]int, len(coords))}
+	for k, c := range coords {
+		p.slot[k] = m.find(c.Row, c.Col)
+	}
+	return p
+}
+
+// find returns the Val index of entry (i, j), or panics if absent
+// (it cannot be absent for a triplet used during assembly).
+func (m *CSR) find(i, j int) int {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m.ColIdx[mid] < j:
+			lo = mid + 1
+		case m.ColIdx[mid] > j:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	panic(fmt.Sprintf("linalg: CSR entry (%d,%d) not found", i, j))
+}
+
+// Matrix returns the underlying CSR (shared, mutated by Update).
+func (p *Pattern) Matrix() *CSR { return p.csr }
+
+// Update overwrites the matrix values from a fresh triplet list that
+// must have the same length and (row, col) structure as the one passed
+// to NewPattern. Duplicates are summed as during assembly.
+func (p *Pattern) Update(coords []Coord) {
+	if len(coords) != len(p.slot) {
+		panic("linalg: Pattern.Update triplet count mismatch")
+	}
+	for i := range p.csr.Val {
+		p.csr.Val[i] = 0
+	}
+	for k, c := range coords {
+		p.csr.Val[p.slot[k]] += c.Val
+	}
+}

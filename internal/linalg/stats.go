@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics used to render the paper's
+// box plots (Figs. 2 and 3) in text form.
+type Summary struct {
+	N               int
+	Mean, Std       float64
+	Min, Q1, Median float64
+	Q3, Max         float64
+}
+
+// Summarize computes descriptive statistics of x. It panics on an
+// empty input.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		panic("linalg: Summarize of empty slice")
+	}
+	s := Summary{N: len(x)}
+	sorted := Copy(x)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q3 = Quantile(sorted, 0.75)
+	s.Mean = Sum(sorted) / float64(len(sorted))
+	var v float64
+	for _, e := range sorted {
+		d := e - s.Mean
+		v += d * d
+	}
+	s.Std = math.Sqrt(v / float64(len(sorted)))
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already sorted
+// slice using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("linalg: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary as a one-line box-plot description.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}
+
+// Histogram bins x into nbins equal-width bins over [min, max] and
+// returns the bin edges (nbins+1 values) and counts. Values exactly at
+// max land in the last bin.
+func Histogram(x []float64, nbins int, min, max float64) (edges []float64, counts []int) {
+	if nbins <= 0 {
+		panic("linalg: Histogram with nbins <= 0")
+	}
+	if max <= min {
+		panic("linalg: Histogram with max <= min")
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = min + (max-min)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, v := range x {
+		if v < min || v > max {
+			continue
+		}
+		b := int((v - min) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

@@ -1,0 +1,100 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"geniex/internal/linalg"
+	"geniex/internal/nn"
+)
+
+// Confusion is a square confusion matrix: Counts[true][predicted].
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion allocates an empty matrix for the given class count.
+func NewConfusion(classes int) *Confusion {
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	return c
+}
+
+// Observe records one (true, predicted) pair.
+func (c *Confusion) Observe(truth, pred int) {
+	c.Counts[truth][pred]++
+}
+
+// Accuracy returns overall top-1 accuracy.
+func (c *Confusion) Accuracy() float64 {
+	var correct, total int
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns the recall of each class (NaN-free: classes
+// with no examples report 0).
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i, row := range c.Counts {
+		var total int
+		for _, n := range row {
+			total += n
+		}
+		if total > 0 {
+			out[i] = float64(row[i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// String renders the matrix compactly.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, acc %.2f%%):\n", c.Classes, 100*c.Accuracy())
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "  %2d |", i)
+		for _, n := range row {
+			fmt.Fprintf(&b, " %4d", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Evaluate runs an inference function over a labelled set and returns
+// the full confusion matrix (batched like Accuracy).
+func Evaluate(fwd Forward, x *linalg.Dense, y []int, classes, batchSize int) (*Confusion, error) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	conf := NewConfusion(classes)
+	for lo := 0; lo < x.Rows; lo += batchSize {
+		hi := lo + batchSize
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		bx := linalg.NewDenseFrom(hi-lo, x.Cols, x.Data[lo*x.Cols:hi*x.Cols])
+		logits, err := fwd(bx)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range nn.Argmax(logits) {
+			conf.Observe(y[lo+i], p)
+		}
+	}
+	return conf, nil
+}

@@ -1,0 +1,228 @@
+// Package models provides the CNN architectures and training harness
+// used by the accuracy experiments. MiniResNet is the scaled-down
+// stand-in for the paper's ResNet-20 (SynthCIFAR) and ResNet-18
+// (SynthImageNet): stacked 3×3 convolutions with BatchNorm, identity
+// residual blocks, global average pooling and a linear classifier —
+// every feature the functional simulator has to lower.
+package models
+
+import (
+	"fmt"
+	"io"
+
+	"geniex/internal/dataset"
+	"geniex/internal/linalg"
+	"geniex/internal/nn"
+)
+
+// MiniConvNet builds a small plain CNN (no residuals) for ablations:
+// conv-BN-ReLU ×2 with pooling, then a linear head.
+func MiniConvNet(set *dataset.Set, channels int, seed uint64) *nn.Sequential {
+	r := linalg.NewRNG(seed)
+	h, w := set.H, set.W
+	g1 := nn.ConvGeom{InC: set.C, InH: h, InW: w, OutC: channels, Kernel: 3, Stride: 1, Pad: 1}
+	g2 := nn.ConvGeom{InC: channels, InH: h / 2, InW: w / 2, OutC: channels, Kernel: 3, Stride: 1, Pad: 1}
+	return nn.NewSequential(
+		nn.NewConv2D(g1, false, r),
+		nn.NewBatchNorm(channels, h*w),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(channels, h, w, 2),
+		nn.NewConv2D(g2, false, r),
+		nn.NewBatchNorm(channels, (h/2)*(w/2)),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool2D(channels, h/2, w/2),
+		nn.NewLinear(channels, set.Classes, true, r),
+	)
+}
+
+// residualBlock builds an identity block: conv-BN-ReLU-conv-BN inside
+// the skip, ReLU applied by the caller after the add.
+func residualBlock(c, h, w int, r *linalg.RNG) *nn.Residual {
+	g := nn.ConvGeom{InC: c, InH: h, InW: w, OutC: c, Kernel: 3, Stride: 1, Pad: 1}
+	return nn.NewResidual(
+		nn.NewConv2D(g, false, r),
+		nn.NewBatchNorm(c, h*w),
+		nn.NewReLU(),
+		nn.NewConv2D(g, false, r),
+		nn.NewBatchNorm(c, h*w),
+	)
+}
+
+// MiniResNet builds the residual CNN used in the paper-reproduction
+// experiments: a stem convolution followed by residual stages with
+// pooling between them, global average pooling and a linear head. The
+// number of stages adapts to the input resolution (two for 16×16,
+// three for 32×32).
+func MiniResNet(set *dataset.Set, channels int, seed uint64) *nn.Sequential {
+	r := linalg.NewRNG(seed)
+	h, w := set.H, set.W
+	layers := []nn.Layer{
+		nn.NewConv2D(nn.ConvGeom{InC: set.C, InH: h, InW: w, OutC: channels, Kernel: 3, Stride: 1, Pad: 1}, false, r),
+		nn.NewBatchNorm(channels, h*w),
+		nn.NewReLU(),
+	}
+	for h > 8 {
+		layers = append(layers,
+			residualBlock(channels, h, w, r),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(channels, h, w, 2),
+		)
+		h, w = h/2, w/2
+	}
+	layers = append(layers,
+		residualBlock(channels, h, w, r),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool2D(channels, h, w),
+		nn.NewLinear(channels, set.Classes, true, r),
+	)
+	return nn.NewSequential(layers...)
+}
+
+// MiniVGG builds a VGG-style plain CNN: two conv-conv-pool stages with
+// increasing width, then a small classifier head. It exists alongside
+// MiniResNet so experiments can check that the non-ideality trends are
+// not an artifact of one architecture family.
+func MiniVGG(set *dataset.Set, channels int, seed uint64) *nn.Sequential {
+	r := linalg.NewRNG(seed)
+	h, w := set.H, set.W
+	c2 := channels * 2
+	stage := func(inC, outC, h, w int) []nn.Layer {
+		g1 := nn.ConvGeom{InC: inC, InH: h, InW: w, OutC: outC, Kernel: 3, Stride: 1, Pad: 1}
+		g2 := nn.ConvGeom{InC: outC, InH: h, InW: w, OutC: outC, Kernel: 3, Stride: 1, Pad: 1}
+		return []nn.Layer{
+			nn.NewConv2D(g1, false, r),
+			nn.NewBatchNorm(outC, h*w),
+			nn.NewReLU(),
+			nn.NewConv2D(g2, false, r),
+			nn.NewBatchNorm(outC, h*w),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(outC, h, w, 2),
+		}
+	}
+	var layers []nn.Layer
+	layers = append(layers, stage(set.C, channels, h, w)...)
+	layers = append(layers, stage(channels, c2, h/2, w/2)...)
+	layers = append(layers,
+		nn.NewGlobalAvgPool2D(c2, h/4, w/4),
+		nn.NewLinear(c2, set.Classes, true, r),
+	)
+	return nn.NewSequential(layers...)
+}
+
+// TrainConfig controls CNN training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Decay     float64
+	Seed      uint64
+	// Schedule overrides the learning-rate schedule; nil uses a 10×
+	// step drop at two-thirds of the epochs.
+	Schedule nn.Schedule
+	// ClipNorm, when positive, clips the global gradient norm each
+	// step.
+	ClipNorm float64
+	// Augment, when non-nil, applies random flips/shifts to every
+	// training batch.
+	Augment *dataset.Augment
+	// Verbose, when non-nil, receives one line per epoch.
+	Verbose io.Writer
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	return c
+}
+
+// Train fits a network to a dataset with SGD + momentum under the
+// configured learning-rate schedule (default: a single 10× step drop
+// at two-thirds of the epochs).
+func Train(net *nn.Sequential, set *dataset.Set, cfg TrainConfig) error {
+	cfg = cfg.withDefaults()
+	params := net.Params()
+	opt := nn.NewSGD(params, cfg.LR, cfg.Momentum, cfg.Decay)
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = nn.StepLR{Base: cfg.LR, Gamma: 0.1, Milestones: []int{cfg.Epochs * 2 / 3}}
+	}
+	augRNG := linalg.NewRNG(cfg.Seed ^ 0xa06)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.SetLR(sched.LR(epoch))
+		var loss float64
+		batches := 0
+		set.Batches(cfg.BatchSize, cfg.Seed+uint64(epoch), func(x *linalg.Dense, y []int) {
+			if cfg.Augment != nil {
+				cfg.Augment.Apply(set, x, augRNG)
+			}
+			nn.ZeroGrad(params)
+			logits := net.Forward(x, true)
+			l, grad := nn.SoftmaxCrossEntropy(logits, y)
+			net.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			opt.Step()
+			loss += l
+			batches++
+		})
+		if cfg.Verbose != nil {
+			acc := TestAccuracy(net, set, cfg.BatchSize)
+			fmt.Fprintf(cfg.Verbose, "epoch %2d/%d  loss=%.4f  test-acc=%.2f%%\n",
+				epoch+1, cfg.Epochs, loss/float64(batches), 100*acc)
+		}
+	}
+	return nil
+}
+
+// Forward is any batched inference function: the float network, or a
+// lowered funcsim network.
+type Forward func(x *linalg.Dense) (*linalg.Dense, error)
+
+// Accuracy evaluates top-1 accuracy of an inference function over a
+// labelled set, in batches.
+func Accuracy(fwd Forward, x *linalg.Dense, y []int, batchSize int) (float64, error) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	correct := 0
+	for lo := 0; lo < x.Rows; lo += batchSize {
+		hi := lo + batchSize
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		bx := linalg.NewDenseFrom(hi-lo, x.Cols, x.Data[lo*x.Cols:hi*x.Cols])
+		logits, err := fwd(bx)
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range nn.Argmax(logits) {
+			if p == y[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(x.Rows), nil
+}
+
+// TestAccuracy is Accuracy of the float network on the test split.
+func TestAccuracy(net *nn.Sequential, set *dataset.Set, batchSize int) float64 {
+	acc, err := Accuracy(func(x *linalg.Dense) (*linalg.Dense, error) {
+		return net.Forward(x, false), nil
+	}, set.TestX, set.TestY, batchSize)
+	if err != nil {
+		panic(err) // the float path cannot fail
+	}
+	return acc
+}

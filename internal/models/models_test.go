@@ -1,0 +1,182 @@
+package models
+
+import (
+	"testing"
+
+	"geniex/internal/dataset"
+	"geniex/internal/linalg"
+	"geniex/internal/nn"
+)
+
+func TestMiniResNetShapes(t *testing.T) {
+	set := dataset.SynthCIFAR(10, 10, 1)
+	net := MiniResNet(set, 8, 2)
+	out := net.Forward(set.TestX, false)
+	if out.Rows != 10 || out.Cols != set.Classes {
+		t.Fatalf("output %dx%d, want 10x%d", out.Rows, out.Cols, set.Classes)
+	}
+}
+
+func TestMiniResNetDeeperFor32(t *testing.T) {
+	set16 := dataset.SynthCIFAR(4, 4, 1)
+	set32 := dataset.SynthImageNet(4, 4, 1)
+	n16 := len(MiniResNet(set16, 8, 2).Layers)
+	n32 := len(MiniResNet(set32, 8, 2).Layers)
+	if n32 <= n16 {
+		t.Errorf("32x32 network (%d layers) not deeper than 16x16 (%d)", n32, n16)
+	}
+	out := MiniResNet(set32, 8, 2).Forward(set32.TestX, false)
+	if out.Cols != 20 {
+		t.Fatalf("imagenet head has %d outputs", out.Cols)
+	}
+}
+
+func TestMiniConvNetShapes(t *testing.T) {
+	set := dataset.SynthCIFAR(6, 6, 3)
+	net := MiniConvNet(set, 8, 4)
+	out := net.Forward(set.TestX, false)
+	if out.Rows != 6 || out.Cols != 10 {
+		t.Fatalf("output %dx%d", out.Rows, out.Cols)
+	}
+}
+
+// Training must lift accuracy far above chance on a small subset —
+// the end-to-end sanity check for the whole training stack.
+func TestTrainingBeatsChance(t *testing.T) {
+	set := dataset.SynthCIFAR(400, 100, 5)
+	net := MiniResNet(set, 8, 6)
+	err := Train(net, set, TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := TestAccuracy(net, set, 50)
+	t.Logf("test accuracy after 6 epochs: %.1f%%", 100*acc)
+	if acc < 0.3 { // chance is 10%; short training on 400 hard images
+		t.Errorf("accuracy %.2f too close to chance", acc)
+	}
+}
+
+func TestAccuracyBatchesConsistent(t *testing.T) {
+	set := dataset.SynthCIFAR(20, 30, 9)
+	net := MiniConvNet(set, 4, 10)
+	fwd := func(x *linalg.Dense) (*linalg.Dense, error) { return net.Forward(x, false), nil }
+	a1, err := Accuracy(fwd, set.TestX, set.TestY, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Accuracy(fwd, set.TestX, set.TestY, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("batch size changed accuracy: %v vs %v", a1, a2)
+	}
+}
+
+func TestTrainedModelSerializes(t *testing.T) {
+	set := dataset.SynthCIFAR(40, 10, 11)
+	net := MiniConvNet(set, 4, 12)
+	if err := Train(net, set, TrainConfig{Epochs: 1, BatchSize: 16, Seed: 13}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.gob"
+	if err := nn.SaveFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.Forward(set.TestX, false)
+	got := loaded.Forward(set.TestX, false)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("loaded model differs")
+		}
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	c := NewConfusion(3)
+	c.Observe(0, 0)
+	c.Observe(0, 1)
+	c.Observe(1, 1)
+	c.Observe(2, 2)
+	if got := c.Accuracy(); got != 0.75 {
+		t.Errorf("accuracy = %v, want 0.75", got)
+	}
+	rec := c.PerClassRecall()
+	if rec[0] != 0.5 || rec[1] != 1 || rec[2] != 1 {
+		t.Errorf("recall = %v", rec)
+	}
+	if s := c.String(); len(s) == 0 {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestEvaluateMatchesAccuracy(t *testing.T) {
+	set := dataset.SynthCIFAR(20, 30, 15)
+	net := MiniConvNet(set, 4, 16)
+	fwd := func(x *linalg.Dense) (*linalg.Dense, error) { return net.Forward(x, false), nil }
+	acc, err := Accuracy(fwd, set.TestX, set.TestY, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := Evaluate(fwd, set.TestX, set.TestY, set.Classes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() != acc {
+		t.Errorf("confusion accuracy %v != plain accuracy %v", conf.Accuracy(), acc)
+	}
+	var total int
+	for _, row := range conf.Counts {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != set.TestX.Rows {
+		t.Errorf("confusion total %d != %d examples", total, set.TestX.Rows)
+	}
+}
+
+func TestTrainWithAugmentation(t *testing.T) {
+	set := dataset.SynthCIFAR(80, 20, 21)
+	net := MiniConvNet(set, 4, 22)
+	aug := dataset.DefaultAugment()
+	if err := Train(net, set, TrainConfig{
+		Epochs: 2, BatchSize: 16, Seed: 23, Augment: &aug,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Smoke: the trained network still produces valid logits.
+	out := net.Forward(set.TestX, false)
+	if out.Rows != 20 || out.Cols != set.Classes {
+		t.Fatalf("output shape %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestMiniVGGShapesAndTraining(t *testing.T) {
+	set := dataset.SynthCIFAR(120, 30, 25)
+	net := MiniVGG(set, 4, 26)
+	out := net.Forward(set.TestX, false)
+	if out.Rows != 30 || out.Cols != set.Classes {
+		t.Fatalf("output %dx%d", out.Rows, out.Cols)
+	}
+	if err := Train(net, set, TrainConfig{Epochs: 2, BatchSize: 16, Seed: 27}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainWithCosineSchedule(t *testing.T) {
+	set := dataset.SynthCIFAR(60, 20, 31)
+	net := MiniConvNet(set, 4, 32)
+	err := Train(net, set, TrainConfig{
+		Epochs: 3, BatchSize: 16, Seed: 33,
+		Schedule: nn.CosineLR{Base: 0.05, Min: 0.001, Epochs: 3},
+		ClipNorm: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package nn
+
+import "geniex/internal/linalg"
+
+// ReLU is the rectified linear activation, y = max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	y := linalg.NewDense(x.Rows, x.Cols)
+	if train {
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
+	}
+	for i, v := range x.Data {
+		pos := v > 0
+		if pos {
+			y.Data[i] = v
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *linalg.Dense) *linalg.Dense {
+	if len(r.mask) != len(grad.Data) {
+		panic("nn: ReLU.Backward without a matching training Forward")
+	}
+	dx := linalg.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// GobEncode implements gob.GobEncoder; ReLU is stateless, so the
+// payload is empty. (gob refuses structs with no exported fields.)
+func (r *ReLU) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (r *ReLU) GobDecode([]byte) error { return nil }
+
+// Flatten is an identity layer kept for architectural clarity: data is
+// already stored flat, so it only documents the CNN→FC transition.
+type Flatten struct{}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *linalg.Dense, train bool) *linalg.Dense { return x }
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *linalg.Dense) *linalg.Dense { return grad }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// GobEncode implements gob.GobEncoder; Flatten is stateless.
+func (f *Flatten) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (f *Flatten) GobDecode([]byte) error { return nil }

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// BatchNorm normalizes activations per channel over the batch and
+// spatial dimensions. For fully-connected activations use Spatial = 1
+// (per-feature normalization).
+type BatchNorm struct {
+	C       int // channels (features)
+	Spatial int // spatial positions per channel (H·W, or 1 for FC)
+	Eps     float64
+	Mom     float64 // running-stat momentum
+
+	Gamma, Beta *Param
+	RunMean     []float64
+	RunVar      []float64
+
+	// caches for backward
+	lastX  *linalg.Dense
+	mean   []float64
+	invStd []float64
+	xhat   *linalg.Dense
+}
+
+// NewBatchNorm creates a batch normalization layer over c channels
+// with the given spatial extent.
+func NewBatchNorm(c, spatial int) *BatchNorm {
+	if c <= 0 || spatial <= 0 {
+		panic(fmt.Sprintf("nn: BatchNorm with c=%d spatial=%d", c, spatial))
+	}
+	bn := &BatchNorm{C: c, Spatial: spatial, Eps: 1e-5, Mom: 0.1}
+	bn.Gamma = newParam("bn.gamma", 1, c)
+	bn.Beta = newParam("bn.beta", 1, c)
+	linalg.Fill(bn.Gamma.W.Data, 1)
+	bn.RunMean = make([]float64, c)
+	bn.RunVar = make([]float64, c)
+	linalg.Fill(bn.RunVar, 1)
+	return bn
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	checkCols("BatchNorm", x, bn.C*bn.Spatial)
+	y := linalg.NewDense(x.Rows, x.Cols)
+	if !train {
+		for b := 0; b < x.Rows; b++ {
+			in, out := x.Row(b), y.Row(b)
+			for c := 0; c < bn.C; c++ {
+				scale := bn.Gamma.W.Data[c] / math.Sqrt(bn.RunVar[c]+bn.Eps)
+				shift := bn.Beta.W.Data[c] - scale*bn.RunMean[c]
+				seg := in[c*bn.Spatial : (c+1)*bn.Spatial]
+				dst := out[c*bn.Spatial : (c+1)*bn.Spatial]
+				for i, v := range seg {
+					dst[i] = scale*v + shift
+				}
+			}
+		}
+		return y
+	}
+
+	n := float64(x.Rows * bn.Spatial)
+	bn.lastX = x
+	bn.mean = make([]float64, bn.C)
+	bn.invStd = make([]float64, bn.C)
+	bn.xhat = linalg.NewDense(x.Rows, x.Cols)
+	for c := 0; c < bn.C; c++ {
+		var sum float64
+		for b := 0; b < x.Rows; b++ {
+			sum += linalg.Sum(x.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial])
+		}
+		mean := sum / n
+		var varsum float64
+		for b := 0; b < x.Rows; b++ {
+			seg := x.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			for _, v := range seg {
+				d := v - mean
+				varsum += d * d
+			}
+		}
+		variance := varsum / n
+		bn.mean[c] = mean
+		bn.invStd[c] = 1 / math.Sqrt(variance+bn.Eps)
+		bn.RunMean[c] = (1-bn.Mom)*bn.RunMean[c] + bn.Mom*mean
+		bn.RunVar[c] = (1-bn.Mom)*bn.RunVar[c] + bn.Mom*variance
+
+		g, be := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+		for b := 0; b < x.Rows; b++ {
+			seg := x.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			xh := bn.xhat.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			dst := y.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			for i, v := range seg {
+				h := (v - mean) * bn.invStd[c]
+				xh[i] = h
+				dst[i] = g*h + be
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (bn *BatchNorm) Backward(grad *linalg.Dense) *linalg.Dense {
+	if bn.xhat == nil || grad.Rows != bn.xhat.Rows {
+		panic("nn: BatchNorm.Backward without a matching training Forward")
+	}
+	checkCols("BatchNorm.Backward", grad, bn.C*bn.Spatial)
+	n := float64(grad.Rows * bn.Spatial)
+	dx := linalg.NewDense(grad.Rows, grad.Cols)
+	for c := 0; c < bn.C; c++ {
+		var sumG, sumGX float64
+		for b := 0; b < grad.Rows; b++ {
+			gseg := grad.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			xseg := bn.xhat.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			for i, g := range gseg {
+				sumG += g
+				sumGX += g * xseg[i]
+			}
+		}
+		bn.Beta.Grad.Data[c] += sumG
+		bn.Gamma.Grad.Data[c] += sumGX
+		gamma := bn.Gamma.W.Data[c]
+		k := gamma * bn.invStd[c]
+		for b := 0; b < grad.Rows; b++ {
+			gseg := grad.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			xseg := bn.xhat.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			dseg := dx.Row(b)[c*bn.Spatial : (c+1)*bn.Spatial]
+			for i, g := range gseg {
+				dseg[i] = k * (g - sumG/n - xseg[i]*sumGX/n)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// FoldInto returns the per-channel scale and shift that make
+// y = scale[c]·x + shift[c] equivalent to this layer in inference
+// mode. The functional simulator uses this to fold BatchNorm into the
+// preceding convolution before lowering to crossbars.
+func (bn *BatchNorm) FoldInto() (scale, shift []float64) {
+	scale = make([]float64, bn.C)
+	shift = make([]float64, bn.C)
+	for c := 0; c < bn.C; c++ {
+		scale[c] = bn.Gamma.W.Data[c] / math.Sqrt(bn.RunVar[c]+bn.Eps)
+		shift[c] = bn.Beta.W.Data[c] - scale[c]*bn.RunMean[c]
+	}
+	return scale, shift
+}

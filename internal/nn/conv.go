@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// ConvGeom captures the spatial geometry of a convolution.
+type ConvGeom struct {
+	InC, InH, InW int
+	OutC, Kernel  int
+	Stride, Pad   int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.Kernel)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.Kernel)/g.Stride + 1 }
+
+// InSize returns the flattened input feature count.
+func (g ConvGeom) InSize() int { return g.InC * g.InH * g.InW }
+
+// OutSize returns the flattened output feature count.
+func (g ConvGeom) OutSize() int { return g.OutC * g.OutH() * g.OutW() }
+
+// PatchSize returns the im2col patch length InC·K·K.
+func (g ConvGeom) PatchSize() int { return g.InC * g.Kernel * g.Kernel }
+
+// Validate reports whether the geometry is consistent.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.OutC <= 0 || g.Kernel <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("nn: invalid conv geometry %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("nn: conv geometry %+v yields empty output", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a batch of C×H×W volumes (rows of x) to a patch
+// matrix of shape (batch·outH·outW) × (C·K·K): row (b·outH+oy)·outW+ox
+// holds the receptive field of output pixel (oy, ox) of example b.
+// Out-of-bounds (padding) taps read as zero.
+//
+// This is the "Iterative-mvm" step of the paper's functional
+// simulator: it is exported because package funcsim lowers
+// convolutions onto crossbars with exactly the same transformation.
+func Im2Col(x *linalg.Dense, g ConvGeom) *linalg.Dense {
+	checkCols("Im2Col", x, g.InSize())
+	outH, outW := g.OutH(), g.OutW()
+	patch := g.PatchSize()
+	cols := linalg.NewDense(x.Rows*outH*outW, patch)
+	linalg.ParallelFor(x.Rows, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Row(b)
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					dst := cols.Row((b*outH+oy)*outW + ox)
+					p := 0
+					for c := 0; c < g.InC; c++ {
+						base := c * g.InH * g.InW
+						for ky := 0; ky < g.Kernel; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							for kx := 0; kx < g.Kernel; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									dst[p] = in[base+iy*g.InW+ix]
+								} else {
+									dst[p] = 0
+								}
+								p++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Col2Im scatters patch-matrix gradients back to input gradients,
+// the exact adjoint of Im2Col.
+func Col2Im(cols *linalg.Dense, g ConvGeom, batch int) *linalg.Dense {
+	outH, outW := g.OutH(), g.OutW()
+	if cols.Rows != batch*outH*outW || cols.Cols != g.PatchSize() {
+		panic(fmt.Sprintf("nn: Col2Im shape %dx%d for geom %+v batch %d", cols.Rows, cols.Cols, g, batch))
+	}
+	x := linalg.NewDense(batch, g.InSize())
+	linalg.ParallelFor(batch, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			out := x.Row(b)
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					src := cols.Row((b*outH+oy)*outW + ox)
+					p := 0
+					for c := 0; c < g.InC; c++ {
+						base := c * g.InH * g.InW
+						for ky := 0; ky < g.Kernel; ky++ {
+							iy := oy*g.Stride + ky - g.Pad
+							for kx := 0; kx < g.Kernel; kx++ {
+								ix := ox*g.Stride + kx - g.Pad
+								if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+									out[base+iy*g.InW+ix] += src[p]
+								}
+								p++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return x
+}
+
+// Conv2D is a 2-D convolution layer implemented by im2col + matmul.
+// Weights have shape PatchSize×OutC, so each crossbar-friendly matrix
+// column is one output channel's flattened kernel.
+type Conv2D struct {
+	Geom    ConvGeom
+	Weight  *Param
+	Bias    *Param
+	UseBias bool
+
+	lastCols  *linalg.Dense
+	lastBatch int
+}
+
+// NewConv2D creates a convolution layer with Kaiming-uniform
+// initialization.
+func NewConv2D(geom ConvGeom, useBias bool, rng *linalg.RNG) *Conv2D {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Conv2D{Geom: geom, UseBias: useBias}
+	c.Weight = newParam("conv.weight", geom.PatchSize(), geom.OutC)
+	bound := math.Sqrt(6.0 / float64(geom.PatchSize()))
+	for i := range c.Weight.W.Data {
+		c.Weight.W.Data[i] = (2*rng.Float64() - 1) * bound
+	}
+	if useBias {
+		c.Bias = newParam("conv.bias", 1, geom.OutC)
+	}
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	checkCols("Conv2D", x, c.Geom.InSize())
+	cols := Im2Col(x, c.Geom)
+	if train {
+		c.lastCols = cols
+		c.lastBatch = x.Rows
+	}
+	prod := linalg.MatMul(cols, c.Weight.W) // (b·oh·ow)×outC
+	return c.colsToOut(prod, x.Rows)
+}
+
+// colsToOut reorders the matmul result (rows = spatial positions,
+// cols = channels) into the layer's channel-major activation layout.
+func (c *Conv2D) colsToOut(prod *linalg.Dense, batch int) *linalg.Dense {
+	g := c.Geom
+	outH, outW := g.OutH(), g.OutW()
+	spatial := outH * outW
+	y := linalg.NewDense(batch, g.OutSize())
+	linalg.ParallelFor(batch, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			dst := y.Row(b)
+			for s := 0; s < spatial; s++ {
+				src := prod.Row(b*spatial + s)
+				for oc := 0; oc < g.OutC; oc++ {
+					v := src[oc]
+					if c.UseBias {
+						v += c.Bias.W.Data[oc]
+					}
+					dst[oc*spatial+s] = v
+				}
+			}
+		}
+	})
+	return y
+}
+
+// outToCols is the inverse reorder, used during Backward.
+func (c *Conv2D) outToCols(grad *linalg.Dense) *linalg.Dense {
+	g := c.Geom
+	spatial := g.OutH() * g.OutW()
+	prod := linalg.NewDense(grad.Rows*spatial, g.OutC)
+	linalg.ParallelFor(grad.Rows, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			src := grad.Row(b)
+			for s := 0; s < spatial; s++ {
+				dst := prod.Row(b*spatial + s)
+				for oc := 0; oc < g.OutC; oc++ {
+					dst[oc] = src[oc*spatial+s]
+				}
+			}
+		}
+	})
+	return prod
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *linalg.Dense) *linalg.Dense {
+	if c.lastCols == nil {
+		panic("nn: Conv2D.Backward without a training Forward")
+	}
+	checkCols("Conv2D.Backward", grad, c.Geom.OutSize())
+	gcols := c.outToCols(grad) // (b·oh·ow)×outC
+	dw := linalg.MatMulATB(c.lastCols, gcols)
+	linalg.Axpy(1, dw.Data, c.Weight.Grad.Data)
+	if c.UseBias {
+		for i := 0; i < gcols.Rows; i++ {
+			row := gcols.Row(i)
+			for oc := range row {
+				c.Bias.Grad.Data[oc] += row[oc]
+			}
+		}
+	}
+	dcols := linalg.MatMulABT(gcols, c.Weight.W)
+	return Col2Im(dcols, c.Geom, c.lastBatch)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.UseBias {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}

@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// AvgPool2D is non-overlapping average pooling (stride == window).
+type AvgPool2D struct {
+	C, H, W int
+	Window  int
+
+	lastBatch int
+}
+
+// NewAvgPool2D creates an average pooling layer; H and W must be
+// divisible by the window.
+func NewAvgPool2D(c, h, w, window int) *AvgPool2D {
+	if window <= 0 || h%window != 0 || w%window != 0 {
+		panic(fmt.Sprintf("nn: AvgPool2D window %d incompatible with %dx%d", window, h, w))
+	}
+	return &AvgPool2D{C: c, H: h, W: w, Window: window}
+}
+
+// OutSize returns the flattened output feature count.
+func (p *AvgPool2D) OutSize() int {
+	return p.C * (p.H / p.Window) * (p.W / p.Window)
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	checkCols("AvgPool2D", x, p.C*p.H*p.W)
+	if train {
+		p.lastBatch = x.Rows
+	}
+	oh, ow := p.H/p.Window, p.W/p.Window
+	inv := 1 / float64(p.Window*p.Window)
+	y := linalg.NewDense(x.Rows, p.OutSize())
+	for b := 0; b < x.Rows; b++ {
+		in, out := x.Row(b), y.Row(b)
+		for c := 0; c < p.C; c++ {
+			base := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float64
+					for ky := 0; ky < p.Window; ky++ {
+						for kx := 0; kx < p.Window; kx++ {
+							s += in[base+(oy*p.Window+ky)*p.W+ox*p.Window+kx]
+						}
+					}
+					out[c*oh*ow+oy*ow+ox] = s * inv
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(grad *linalg.Dense) *linalg.Dense {
+	if grad.Rows != p.lastBatch {
+		panic("nn: AvgPool2D.Backward without a matching training Forward")
+	}
+	checkCols("AvgPool2D.Backward", grad, p.OutSize())
+	oh, ow := p.H/p.Window, p.W/p.Window
+	inv := 1 / float64(p.Window*p.Window)
+	dx := linalg.NewDense(grad.Rows, p.C*p.H*p.W)
+	for b := 0; b < grad.Rows; b++ {
+		src, dst := grad.Row(b), dx.Row(b)
+		for c := 0; c < p.C; c++ {
+			base := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := src[c*oh*ow+oy*ow+ox] * inv
+					for ky := 0; ky < p.Window; ky++ {
+						for kx := 0; kx < p.Window; kx++ {
+							dst[base+(oy*p.Window+ky)*p.W+ox*p.Window+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, α·x) with a small negative-side slope.
+type LeakyReLU struct {
+	Alpha  float64
+	lastIn *linalg.Dense
+}
+
+// NewLeakyReLU creates a LeakyReLU with the given negative slope
+// (0 ≤ α < 1).
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha < 0 || alpha >= 1 {
+		panic(fmt.Sprintf("nn: LeakyReLU alpha %g out of [0,1)", alpha))
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	if train {
+		l.lastIn = x
+	}
+	y := linalg.NewDense(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = l.Alpha * v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *linalg.Dense) *linalg.Dense {
+	if l.lastIn == nil || len(l.lastIn.Data) != len(grad.Data) {
+		panic("nn: LeakyReLU.Backward without a matching training Forward")
+	}
+	dx := linalg.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		if l.lastIn.Data[i] > 0 {
+			dx.Data[i] = g
+		} else {
+			dx.Data[i] = l.Alpha * g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	lastOut *linalg.Dense
+}
+
+// NewTanh creates a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	y := linalg.NewDense(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	if train {
+		t.lastOut = y
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *linalg.Dense) *linalg.Dense {
+	if t.lastOut == nil || len(t.lastOut.Data) != len(grad.Data) {
+		panic("nn: Tanh.Backward without a matching training Forward")
+	}
+	dx := linalg.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		o := t.lastOut.Data[i]
+		dx.Data[i] = g * (1 - o*o)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// GobEncode implements gob.GobEncoder; Tanh is stateless.
+func (t *Tanh) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tanh) GobDecode([]byte) error { return nil }
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1−P) (inverted dropout), so inference is an
+// identity.
+type Dropout struct {
+	P    float64
+	Seed uint64
+
+	rng  *linalg.RNG
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout probability %g out of [0,1)", p))
+	}
+	return &Dropout{P: p, Seed: seed}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	if !train || d.P == 0 {
+		return x
+	}
+	if d.rng == nil {
+		d.rng = linalg.NewRNG(d.Seed)
+	}
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]bool, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := 1 / (1 - d.P)
+	y := linalg.NewDense(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		keep := d.rng.Float64() >= d.P
+		d.mask[i] = keep
+		if keep {
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *linalg.Dense) *linalg.Dense {
+	if d.P == 0 {
+		return grad
+	}
+	if len(d.mask) != len(grad.Data) {
+		panic("nn: Dropout.Backward without a matching training Forward")
+	}
+	scale := 1 / (1 - d.P)
+	dx := linalg.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		if d.mask[i] {
+			dx.Data[i] = g * scale
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }

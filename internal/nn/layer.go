@@ -1,0 +1,105 @@
+// Package nn is a from-scratch deep learning library built on the
+// standard library only. It provides the pieces the GENIEx
+// reproduction needs: fully-connected and convolutional layers with
+// exact backpropagation, batch normalization, residual blocks, pooling,
+// softmax cross-entropy and MSE losses, SGD and Adam optimizers, and
+// gob-based model serialization.
+//
+// Data layout: activations flow between layers as *linalg.Dense with
+// one example per row. Convolutional layers interpret each row as a
+// C×H×W volume in channel-major order (index c·H·W + y·W + x); the
+// spatial geometry is fixed at construction time.
+//
+// All gradients are verified against numerical differentiation in the
+// package tests.
+package nn
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *linalg.Dense
+	Grad *linalg.Dense
+}
+
+// newParam allocates a parameter and its gradient of the same shape.
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: linalg.NewDense(rows, cols), Grad: linalg.NewDense(rows, cols)}
+}
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes a batch (rows = examples) and returns the layer
+// output; when train is true the layer may cache whatever it needs for
+// Backward and must use batch statistics (e.g. BatchNorm).
+//
+// Backward consumes dL/d(output) for the batch of the immediately
+// preceding Forward call, accumulates dL/dparams into the layer's
+// Param.Grad tensors, and returns dL/d(input).
+type Layer interface {
+	Forward(x *linalg.Dense, train bool) *linalg.Dense
+	Backward(grad *linalg.Dense) *linalg.Dense
+	Params() []*Param
+}
+
+// Sequential chains layers. It is itself a Layer, so blocks nest.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *linalg.Dense) *linalg.Dense {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients of the given parameters.
+func ZeroGrad(params []*Param) {
+	for _, p := range params {
+		linalg.Fill(p.Grad.Data, 0)
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+func checkCols(layer string, x *linalg.Dense, want int) {
+	if x.Cols != want {
+		panic(fmt.Sprintf("nn: %s expects %d features, got %d", layer, want, x.Cols))
+	}
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// Linear is a fully-connected layer y = x·W + b with W of shape
+// In×Out.
+type Linear struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+	UseBias bool
+	lastIn  *linalg.Dense
+}
+
+// NewLinear creates a fully-connected layer with Kaiming-uniform
+// initialized weights (appropriate for the ReLU networks in this
+// repository). rng must not be nil.
+func NewLinear(in, out int, useBias bool, rng *linalg.RNG) *Linear {
+	l := &Linear{In: in, Out: out, UseBias: useBias}
+	l.Weight = newParam("linear.weight", in, out)
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.Weight.W.Data {
+		l.Weight.W.Data[i] = (2*rng.Float64() - 1) * bound
+	}
+	if useBias {
+		l.Bias = newParam("linear.bias", 1, out)
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	checkCols("Linear", x, l.In)
+	if train {
+		l.lastIn = x
+	}
+	y := linalg.MatMul(x, l.Weight.W)
+	if l.UseBias {
+		for i := 0; i < y.Rows; i++ {
+			row := y.Row(i)
+			for j := range row {
+				row[j] += l.Bias.W.Data[j]
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *linalg.Dense) *linalg.Dense {
+	if l.lastIn == nil {
+		panic("nn: Linear.Backward without a training Forward")
+	}
+	// dW += xᵀ·grad
+	dw := linalg.MatMulATB(l.lastIn, grad)
+	linalg.Axpy(1, dw.Data, l.Weight.Grad.Data)
+	if l.UseBias {
+		for i := 0; i < grad.Rows; i++ {
+			row := grad.Row(i)
+			for j := range row {
+				l.Bias.Grad.Data[j] += row[j]
+			}
+		}
+	}
+	// dx = grad·Wᵀ
+	return linalg.MatMulABT(grad, l.Weight.W)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param {
+	if l.UseBias {
+		return []*Param{l.Weight, l.Bias}
+	}
+	return []*Param{l.Weight}
+}

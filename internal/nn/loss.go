@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss of
+// logits against integer class labels and the gradient dL/dlogits.
+func SoftmaxCrossEntropy(logits *linalg.Dense, labels []int) (loss float64, grad *linalg.Dense) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d labels for %d logit rows", len(labels), logits.Rows))
+	}
+	grad = linalg.NewDense(logits.Rows, logits.Cols)
+	inv := 1 / float64(logits.Rows)
+	for b := 0; b < logits.Rows; b++ {
+		row := logits.Row(b)
+		label := labels[b]
+		if label < 0 || label >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, logits.Cols))
+		}
+		// Numerically stable log-sum-exp.
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - max)
+		}
+		logZ := max + math.Log(sum)
+		loss += (logZ - row[label]) * inv
+		g := grad.Row(b)
+		for j, v := range row {
+			p := math.Exp(v - logZ)
+			g[j] = p * inv
+		}
+		g[label] -= inv
+	}
+	return loss, grad
+}
+
+// MSE computes the mean squared error between predictions and targets
+// (averaged over every element) and the gradient dL/dpred.
+func MSE(pred, target *linalg.Dense) (loss float64, grad *linalg.Dense) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %dx%d vs %dx%d",
+			pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	grad = linalg.NewDense(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d / n
+		grad.Data[i] = 2 * d / n
+	}
+	return loss, grad
+}
+
+// Argmax returns the per-row index of the maximum logit.
+func Argmax(logits *linalg.Dense) []int {
+	out := make([]int, logits.Rows)
+	for b := 0; b < logits.Rows; b++ {
+		row := logits.Row(b)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[b] = best
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *linalg.Dense, labels []int) float64 {
+	pred := Argmax(logits)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; call ZeroGrad
+	// separately so gradient accumulation across micro-batches works.
+	Step()
+	// SetLR changes the learning rate (for schedules).
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with classical momentum and
+// decoupled weight decay.
+type SGD struct {
+	params   []*Param
+	lr       float64
+	momentum float64
+	decay    float64
+	velocity []*linalg.Dense
+}
+
+// NewSGD creates an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum, weightDecay float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum, decay: weightDecay}
+	s.velocity = make([]*linalg.Dense, len(params))
+	for i, p := range params {
+		s.velocity[i] = linalg.NewDense(p.W.Rows, p.W.Cols)
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		v := s.velocity[i]
+		for j := range p.W.Data {
+			g := p.Grad.Data[j] + s.decay*p.W.Data[j]
+			v.Data[j] = s.momentum*v.Data[j] + g
+			p.W.Data[j] -= s.lr * v.Data[j]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	params []*Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   []*linalg.Dense
+}
+
+// NewAdam creates an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([]*linalg.Dense, len(params))
+	a.v = make([]*linalg.Dense, len(params))
+	for i, p := range params {
+		a.m[i] = linalg.NewDense(p.W.Rows, p.W.Cols)
+		a.v[i] = linalg.NewDense(p.W.Rows, p.W.Cols)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W.Data {
+			g := p.Grad.Data[j]
+			m.Data[j] = a.beta1*m.Data[j] + (1-a.beta1)*g
+			v.Data[j] = a.beta2*v.Data[j] + (1-a.beta2)*g*g
+			mh := m.Data[j] / c1
+			vh := v.Data[j] / c2
+			p.W.Data[j] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+)
+
+// MaxPool2D is a non-overlapping max pooling layer (stride == window).
+type MaxPool2D struct {
+	C, H, W int // input geometry
+	Window  int
+
+	argmax    []int32 // flat input index of each output's maximum
+	lastBatch int
+}
+
+// NewMaxPool2D creates a pooling layer; H and W must be divisible by
+// the window.
+func NewMaxPool2D(c, h, w, window int) *MaxPool2D {
+	if window <= 0 || h%window != 0 || w%window != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D window %d incompatible with %dx%d", window, h, w))
+	}
+	return &MaxPool2D{C: c, H: h, W: w, Window: window}
+}
+
+// OutSize returns the flattened output feature count.
+func (p *MaxPool2D) OutSize() int {
+	return p.C * (p.H / p.Window) * (p.W / p.Window)
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	checkCols("MaxPool2D", x, p.C*p.H*p.W)
+	oh, ow := p.H/p.Window, p.W/p.Window
+	y := linalg.NewDense(x.Rows, p.OutSize())
+	if train {
+		p.argmax = make([]int32, x.Rows*p.OutSize())
+		p.lastBatch = x.Rows
+	}
+	linalg.ParallelFor(x.Rows, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Row(b)
+			out := y.Row(b)
+			for c := 0; c < p.C; c++ {
+				base := c * p.H * p.W
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						bestIdx := base + (oy*p.Window)*p.W + ox*p.Window
+						best := in[bestIdx]
+						for ky := 0; ky < p.Window; ky++ {
+							for kx := 0; kx < p.Window; kx++ {
+								idx := base + (oy*p.Window+ky)*p.W + (ox*p.Window + kx)
+								if in[idx] > best {
+									best, bestIdx = in[idx], idx
+								}
+							}
+						}
+						o := c*oh*ow + oy*ow + ox
+						out[o] = best
+						if train {
+							p.argmax[b*p.OutSize()+o] = int32(bestIdx)
+						}
+					}
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *linalg.Dense) *linalg.Dense {
+	if p.argmax == nil || grad.Rows != p.lastBatch {
+		panic("nn: MaxPool2D.Backward without a matching training Forward")
+	}
+	checkCols("MaxPool2D.Backward", grad, p.OutSize())
+	dx := linalg.NewDense(grad.Rows, p.C*p.H*p.W)
+	for b := 0; b < grad.Rows; b++ {
+		src := grad.Row(b)
+		dst := dx.Row(b)
+		for o, g := range src {
+			dst[p.argmax[b*p.OutSize()+o]] += g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool2D averages each channel over all spatial positions,
+// the standard head of ResNet-style networks.
+type GlobalAvgPool2D struct {
+	C, H, W int
+}
+
+// NewGlobalAvgPool2D creates a global average pooling layer.
+func NewGlobalAvgPool2D(c, h, w int) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{C: c, H: h, W: w}
+}
+
+// Forward implements Layer.
+func (p *GlobalAvgPool2D) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	checkCols("GlobalAvgPool2D", x, p.C*p.H*p.W)
+	spatial := p.H * p.W
+	y := linalg.NewDense(x.Rows, p.C)
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		out := y.Row(b)
+		for c := 0; c < p.C; c++ {
+			out[c] = linalg.Sum(in[c*spatial:(c+1)*spatial]) / float64(spatial)
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool2D) Backward(grad *linalg.Dense) *linalg.Dense {
+	checkCols("GlobalAvgPool2D.Backward", grad, p.C)
+	spatial := p.H * p.W
+	dx := linalg.NewDense(grad.Rows, p.C*p.H*p.W)
+	inv := 1 / float64(spatial)
+	for b := 0; b < grad.Rows; b++ {
+		src := grad.Row(b)
+		dst := dx.Row(b)
+		for c := 0; c < p.C; c++ {
+			g := src[c] * inv
+			seg := dst[c*spatial : (c+1)*spatial]
+			for i := range seg {
+				seg[i] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool2D) Params() []*Param { return nil }

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+)
+
+// Residual wraps a body network with an identity skip connection:
+// y = x + body(x). The body must preserve the feature count. This is
+// the building block that makes the repository's MiniResNet a faithful
+// scaled-down ResNet.
+type Residual struct {
+	Body *Sequential
+}
+
+// NewResidual wraps layers in a residual connection.
+func NewResidual(layers ...Layer) *Residual {
+	return &Residual{Body: NewSequential(layers...)}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *linalg.Dense, train bool) *linalg.Dense {
+	y := r.Body.Forward(x, train)
+	if y.Rows != x.Rows || y.Cols != x.Cols {
+		panic(fmt.Sprintf("nn: residual body changed shape %dx%d -> %dx%d",
+			x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	out := y.Clone()
+	linalg.Axpy(1, x.Data, out.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *linalg.Dense) *linalg.Dense {
+	dBody := r.Body.Backward(grad)
+	dx := dBody.Clone()
+	linalg.Axpy(1, grad.Data, dx.Data)
+	return dx
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Body.Params() }

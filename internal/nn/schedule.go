@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps an epoch index to a learning rate. Schedules compose
+// with any Optimizer through SetLR.
+type Schedule interface {
+	// LR returns the learning rate for the given zero-based epoch.
+	LR(epoch int) float64
+}
+
+// ConstantLR keeps the learning rate fixed.
+type ConstantLR struct {
+	Rate float64
+}
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return c.Rate }
+
+// StepLR multiplies the base rate by Gamma at every milestone epoch.
+type StepLR struct {
+	Base       float64
+	Gamma      float64
+	Milestones []int
+}
+
+// LR implements Schedule.
+func (s StepLR) LR(epoch int) float64 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if epoch >= m {
+			lr *= s.Gamma
+		}
+	}
+	return lr
+}
+
+// CosineLR anneals from Base to Min over Epochs with a half cosine.
+type CosineLR struct {
+	Base, Min float64
+	Epochs    int
+}
+
+// LR implements Schedule.
+func (c CosineLR) LR(epoch int) float64 {
+	if c.Epochs <= 1 {
+		return c.Min
+	}
+	t := float64(epoch) / float64(c.Epochs-1)
+	if t > 1 {
+		t = 1
+	}
+	return c.Min + (c.Base-c.Min)*(1+math.Cos(math.Pi*t))/2
+}
+
+// WarmupLR ramps linearly from 0 to the inner schedule's rate over
+// Warmup epochs, then follows the inner schedule.
+type WarmupLR struct {
+	Inner  Schedule
+	Warmup int
+}
+
+// LR implements Schedule.
+func (w WarmupLR) LR(epoch int) float64 {
+	lr := w.Inner.LR(epoch)
+	if w.Warmup > 0 && epoch < w.Warmup {
+		return lr * float64(epoch+1) / float64(w.Warmup)
+	}
+	return lr
+}
+
+// ClipGradNorm scales all gradients down so their global L2 norm does
+// not exceed maxNorm, and returns the norm before clipping. It is a
+// no-op (returning the norm) when the norm is already within bounds.
+// maxNorm must be positive.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic(fmt.Sprintf("nn: ClipGradNorm with maxNorm %g", maxNorm))
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"geniex/internal/linalg"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR{Rate: 0.1}
+	if s.LR(0) != 0.1 || s.LR(100) != 0.1 {
+		t.Error("constant schedule not constant")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.1, Milestones: []int{10, 20}}
+	cases := map[int]float64{0: 1, 9: 1, 10: 0.1, 19: 0.1, 20: 0.01, 100: 0.01}
+	for epoch, want := range cases {
+		if got := s.LR(epoch); math.Abs(got-want) > 1e-15 {
+			t.Errorf("LR(%d) = %v, want %v", epoch, got, want)
+		}
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	s := CosineLR{Base: 1, Min: 0.01, Epochs: 11}
+	if got := s.LR(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cosine start = %v", got)
+	}
+	if got := s.LR(10); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("cosine end = %v", got)
+	}
+	// Monotone decreasing.
+	prev := s.LR(0)
+	for e := 1; e <= 10; e++ {
+		cur := s.LR(e)
+		if cur > prev {
+			t.Fatalf("cosine not decreasing at %d", e)
+		}
+		prev = cur
+	}
+	// Past the end it stays at Min.
+	if got := s.LR(50); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("cosine beyond end = %v", got)
+	}
+}
+
+func TestWarmupLR(t *testing.T) {
+	s := WarmupLR{Inner: ConstantLR{Rate: 1}, Warmup: 4}
+	want := []float64{0.25, 0.5, 0.75, 1, 1, 1}
+	for e, w := range want {
+		if got := s.LR(e); math.Abs(got-w) > 1e-12 {
+			t.Errorf("warmup LR(%d) = %v, want %v", e, got, w)
+		}
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	r := linalg.NewRNG(1)
+	lin := NewLinear(4, 4, true, r)
+	params := lin.Params()
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = 3
+		}
+	}
+	before := ClipGradNorm(params, 1)
+	if before <= 1 {
+		t.Fatalf("norm before = %v, expected > 1", before)
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	if after := math.Sqrt(sq); math.Abs(after-1) > 1e-12 {
+		t.Errorf("norm after clip = %v, want 1", after)
+	}
+	// No-op when already small.
+	norm2 := ClipGradNorm(params, 10)
+	if math.Abs(norm2-1) > 1e-12 {
+		t.Errorf("second clip reported %v", norm2)
+	}
+}
+
+func TestClipGradNormPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive maxNorm")
+		}
+	}()
+	ClipGradNorm(nil, 0)
+}

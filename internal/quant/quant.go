@@ -1,0 +1,207 @@
+// Package quant implements the digital arithmetic substrate of the
+// functional simulator: signed fixed-point (FxP) quantization,
+// offset-binary encoding, bit-slicing of operands into streams (input
+// digits) and slices (weight digits), ADC quantization, and saturating
+// accumulation.
+//
+// Signed semantics over unsigned crossbars. A crossbar computes only
+// non-negative quantities (voltages × conductances), so signed FxP
+// operands are mapped to offset binary: u = q + 2^(B−1). The signed
+// dot product is recovered exactly from the unsigned one with digital
+// correction terms:
+//
+//	Σ q_w·q_a = Σ u_w·u_a − c_a·Σ u_w − c_w·Σ u_a + n·c_w·c_a
+//
+// where c = 2^(B−1) for each operand. All three corrections are
+// integers computable in the digital periphery, which is how real
+// crossbar accelerators (ISAAC, PUMA) handle signed weights. With
+// enough ADC bits the whole pipeline is bit-exact with the integer dot
+// product — a property the package tests verify.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// FxP describes a signed two's-complement fixed-point format with Bits
+// total bits, of which Frac are fractional. The representable range is
+// [−2^(Bits−1), 2^(Bits−1)−1] · 2^−Frac.
+type FxP struct {
+	Bits, Frac int
+}
+
+// Validate reports whether the format is usable.
+func (f FxP) Validate() error {
+	if f.Bits < 2 || f.Bits > 62 || f.Frac < 0 || f.Frac >= f.Bits {
+		return fmt.Errorf("quant: invalid FxP format %d.%d", f.Bits, f.Frac)
+	}
+	return nil
+}
+
+// MaxInt returns the largest representable integer code.
+func (f FxP) MaxInt() int64 { return (1 << (f.Bits - 1)) - 1 }
+
+// MinInt returns the smallest representable integer code.
+func (f FxP) MinInt() int64 { return -(1 << (f.Bits - 1)) }
+
+// Offset returns the offset-binary bias 2^(Bits−1).
+func (f FxP) Offset() int64 { return 1 << (f.Bits - 1) }
+
+// Scale returns 2^Frac, the codes-per-unit scale factor.
+func (f FxP) Scale() float64 { return float64(uint64(1) << f.Frac) }
+
+// Quantize rounds x to the nearest representable code, saturating at
+// the format limits.
+func (f FxP) Quantize(x float64) int64 {
+	q := math.Round(x * f.Scale())
+	if q > float64(f.MaxInt()) {
+		return f.MaxInt()
+	}
+	if q < float64(f.MinInt()) {
+		return f.MinInt()
+	}
+	return int64(q)
+}
+
+// QuantizeSymmetric rounds x to the nearest code, saturating at
+// ±MaxInt (the symmetric range). This is the quantizer the MVM engine
+// uses: symmetric saturation keeps every magnitude within Bits−1 bits,
+// so sign-magnitude digit slicing needs no extra digit for −2^(B−1).
+func (f FxP) QuantizeSymmetric(x float64) int64 {
+	q := f.Quantize(x)
+	if q < -f.MaxInt() {
+		return -f.MaxInt()
+	}
+	return q
+}
+
+// Dequantize converts a code back to a real value.
+func (f FxP) Dequantize(q int64) float64 { return float64(q) / f.Scale() }
+
+// QuantizeValue is the round trip Dequantize(Quantize(x)): the nearest
+// representable real value.
+func (f FxP) QuantizeValue(x float64) float64 { return f.Dequantize(f.Quantize(x)) }
+
+// ToOffset converts a signed code to offset binary (always in
+// [0, 2^Bits−1] for in-range codes).
+func (f FxP) ToOffset(q int64) uint64 { return uint64(q + f.Offset()) }
+
+// FromOffset converts an offset-binary value back to a signed code.
+func (f FxP) FromOffset(u uint64) int64 { return int64(u) - f.Offset() }
+
+// NumDigits returns how many width-bit digits cover bits bits
+// (⌈bits/width⌉).
+func NumDigits(bits, width int) int {
+	if width <= 0 || bits <= 0 {
+		panic(fmt.Sprintf("quant: NumDigits(%d, %d)", bits, width))
+	}
+	return (bits + width - 1) / width
+}
+
+// Digits decomposes u into count width-bit digits, least significant
+// first. It panics if u does not fit in count digits.
+func Digits(u uint64, width, count int) []uint64 {
+	mask := (uint64(1) << width) - 1
+	out := make([]uint64, count)
+	for k := 0; k < count; k++ {
+		out[k] = u & mask
+		u >>= width
+	}
+	if u != 0 {
+		panic(fmt.Sprintf("quant: value does not fit in %d digits of %d bits", count, width))
+	}
+	return out
+}
+
+// FromDigits recomposes a value from width-bit digits (LSB first).
+func FromDigits(digits []uint64, width int) uint64 {
+	var u uint64
+	for k := len(digits) - 1; k >= 0; k-- {
+		u = u<<width | digits[k]
+	}
+	return u
+}
+
+// ADC is a uniform analog-to-digital converter over [0, FullScale]
+// with 2^Bits levels. Inputs outside the range saturate, which is how
+// a real converter clips.
+type ADC struct {
+	Bits      int
+	FullScale float64
+}
+
+// Levels returns the number of quantization levels minus one (the
+// maximum code).
+func (a ADC) Levels() int64 { return (1 << a.Bits) - 1 }
+
+// Code converts an analog value to its digital code.
+func (a ADC) Code(x float64) int64 {
+	if a.FullScale <= 0 {
+		panic("quant: ADC with non-positive full scale")
+	}
+	c := math.Round(x / a.FullScale * float64(a.Levels()))
+	if c < 0 {
+		return 0
+	}
+	if c > float64(a.Levels()) {
+		return a.Levels()
+	}
+	return int64(c)
+}
+
+// Convert quantizes an analog value: the value the digital side
+// believes it saw.
+func (a ADC) Convert(x float64) float64 {
+	return float64(a.Code(x)) / float64(a.Levels()) * a.FullScale
+}
+
+// Acc is a signed saturating accumulator with Bits total width (Frac
+// of them fractional, matching the paper's "32-bit accumulator,
+// 24 fractional"). Values are integer codes at 2^−Frac resolution.
+type Acc struct {
+	Bits, Frac int
+}
+
+// Max returns the accumulator's largest code.
+func (a Acc) Max() int64 { return (1 << (a.Bits - 1)) - 1 }
+
+// Min returns the accumulator's smallest code.
+func (a Acc) Min() int64 { return -(1 << (a.Bits - 1)) }
+
+// Saturate clamps a code into the accumulator range.
+func (a Acc) Saturate(v int64) int64 {
+	if v > a.Max() {
+		return a.Max()
+	}
+	if v < a.Min() {
+		return a.Min()
+	}
+	return v
+}
+
+// Add returns the saturating sum of two accumulator codes.
+func (a Acc) Add(x, y int64) int64 { return a.Saturate(x + y) }
+
+// Rescale converts a code with fromFrac fractional bits into the
+// accumulator's Frac resolution (arithmetic shift with rounding toward
+// nearest), then saturates.
+func (a Acc) Rescale(v int64, fromFrac int) int64 {
+	switch {
+	case fromFrac == a.Frac:
+	case fromFrac > a.Frac:
+		shift := uint(fromFrac - a.Frac)
+		half := int64(1) << (shift - 1)
+		if v >= 0 {
+			v = (v + half) >> shift
+		} else {
+			v = -((-v + half) >> shift)
+		}
+	default:
+		v <<= uint(a.Frac - fromFrac)
+	}
+	return a.Saturate(v)
+}
+
+// Dequantize converts an accumulator code to a real value.
+func (a Acc) Dequantize(v int64) float64 { return float64(v) / float64(uint64(1)<<a.Frac) }

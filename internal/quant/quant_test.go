@@ -1,0 +1,298 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geniex/internal/linalg"
+)
+
+func TestFxPValidate(t *testing.T) {
+	good := []FxP{{16, 13}, {8, 5}, {4, 2}, {2, 0}}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", f, err)
+		}
+	}
+	bad := []FxP{{1, 0}, {63, 10}, {8, 8}, {8, -1}}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%v should be invalid", f)
+		}
+	}
+}
+
+func TestFxPQuantizeKnown(t *testing.T) {
+	f := FxP{Bits: 8, Frac: 4} // range [−8, 7.9375], lsb 1/16
+	cases := []struct {
+		in   float64
+		code int64
+	}{
+		{0, 0},
+		{1, 16},
+		{-1, -16},
+		{0.03125, 1}, // rounds 0.5 lsb up
+		{100, 127},   // saturates high
+		{-100, -128}, // saturates low
+	}
+	for _, c := range cases {
+		if got := f.Quantize(c.in); got != c.code {
+			t.Errorf("Quantize(%v) = %d, want %d", c.in, got, c.code)
+		}
+	}
+}
+
+// Property: quantization error is at most half an LSB for in-range
+// values.
+func TestFxPQuantizeError(t *testing.T) {
+	f := FxP{Bits: 16, Frac: 13}
+	check := func(x float64) bool {
+		if math.Abs(x) > 3.9 { // stay inside the representable range
+			return true
+		}
+		err := math.Abs(f.QuantizeValue(x) - x)
+		return err <= 0.5/f.Scale()+1e-15
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: offset-binary round trip is the identity on the code
+// range.
+func TestOffsetRoundTrip(t *testing.T) {
+	f := FxP{Bits: 8, Frac: 4}
+	for q := f.MinInt(); q <= f.MaxInt(); q++ {
+		u := f.ToOffset(q)
+		if u > 255 {
+			t.Fatalf("offset code %d out of 8-bit range", u)
+		}
+		if back := f.FromOffset(u); back != q {
+			t.Fatalf("round trip %d -> %d -> %d", q, u, back)
+		}
+	}
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	r := linalg.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		bits := 2 + r.Intn(14)
+		width := 1 + r.Intn(4)
+		count := NumDigits(bits, width)
+		u := r.Uint64() & ((1 << bits) - 1)
+		ds := Digits(u, width, count)
+		for _, d := range ds {
+			if d >= 1<<width {
+				t.Fatalf("digit %d exceeds width %d", d, width)
+			}
+		}
+		if back := FromDigits(ds, width); back != u {
+			t.Fatalf("digits round trip %d -> %v -> %d (width %d)", u, ds, back, width)
+		}
+	}
+}
+
+func TestDigitsOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for value too large")
+		}
+	}()
+	Digits(16, 2, 2) // 16 needs 3 two-bit digits
+}
+
+func TestNumDigits(t *testing.T) {
+	cases := []struct{ bits, width, want int }{
+		{16, 4, 4}, {16, 2, 8}, {16, 1, 16}, {15, 4, 4}, {8, 3, 3},
+	}
+	for _, c := range cases {
+		if got := NumDigits(c.bits, c.width); got != c.want {
+			t.Errorf("NumDigits(%d,%d) = %d, want %d", c.bits, c.width, got, c.want)
+		}
+	}
+}
+
+// Property: the signed dot product equals the unsigned offset-binary
+// dot product plus digital corrections — the identity the whole MVM
+// pipeline rests on.
+func TestSignedDotCorrectionIdentity(t *testing.T) {
+	r := linalg.NewRNG(2)
+	fa := FxP{Bits: 6, Frac: 3}
+	fw := FxP{Bits: 5, Frac: 2}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(20)
+		qa := make([]int64, n)
+		qw := make([]int64, n)
+		for i := 0; i < n; i++ {
+			qa[i] = fa.MinInt() + int64(r.Intn(int(fa.MaxInt()-fa.MinInt()+1)))
+			qw[i] = fw.MinInt() + int64(r.Intn(int(fw.MaxInt()-fw.MinInt()+1)))
+		}
+		var signed, unsigned, sumUa, sumUw int64
+		for i := 0; i < n; i++ {
+			signed += qa[i] * qw[i]
+			ua := int64(fa.ToOffset(qa[i]))
+			uw := int64(fw.ToOffset(qw[i]))
+			unsigned += ua * uw
+			sumUa += ua
+			sumUw += uw
+		}
+		recovered := unsigned - fa.Offset()*sumUw - fw.Offset()*sumUa + int64(n)*fa.Offset()*fw.Offset()
+		if recovered != signed {
+			t.Fatalf("trial %d: corrected %d, want %d", trial, recovered, signed)
+		}
+	}
+}
+
+// The same identity must hold when the unsigned dot is reassembled
+// from stream/slice digit partial products — the full bit-serial path.
+func TestBitSerialDotExact(t *testing.T) {
+	r := linalg.NewRNG(3)
+	fa := FxP{Bits: 8, Frac: 4}
+	fw := FxP{Bits: 8, Frac: 4}
+	for _, widths := range [][2]int{{1, 1}, {2, 2}, {4, 4}, {2, 4}, {3, 2}} {
+		sa, sw := widths[0], widths[1]
+		ka := NumDigits(fa.Bits, sa)
+		kw := NumDigits(fw.Bits, sw)
+		n := 16
+		qa := make([]int64, n)
+		qw := make([]int64, n)
+		for i := range qa {
+			qa[i] = fa.MinInt() + int64(r.Intn(int(fa.MaxInt()-fa.MinInt()+1)))
+			qw[i] = fw.MinInt() + int64(r.Intn(int(fw.MaxInt()-fw.MinInt()+1)))
+		}
+		var want int64
+		for i := range qa {
+			want += qa[i] * qw[i]
+		}
+		// Bit-serial unsigned dot.
+		streams := make([][]uint64, ka) // streams[k][i]
+		for k := range streams {
+			streams[k] = make([]uint64, n)
+		}
+		slices := make([][]uint64, kw)
+		for l := range slices {
+			slices[l] = make([]uint64, n)
+		}
+		var sumUa, sumUw int64
+		for i := range qa {
+			da := Digits(fa.ToOffset(qa[i]), sa, ka)
+			dw := Digits(fw.ToOffset(qw[i]), sw, kw)
+			for k, d := range da {
+				streams[k][i] = d
+			}
+			for l, d := range dw {
+				slices[l][i] = d
+			}
+			sumUa += int64(fa.ToOffset(qa[i]))
+			sumUw += int64(fw.ToOffset(qw[i]))
+		}
+		var unsigned int64
+		for k := 0; k < ka; k++ {
+			for l := 0; l < kw; l++ {
+				var p int64
+				for i := 0; i < n; i++ {
+					p += int64(streams[k][i] * slices[l][i])
+				}
+				unsigned += p << uint(k*sa+l*sw)
+			}
+		}
+		got := unsigned - fa.Offset()*sumUw - fw.Offset()*sumUa + int64(n)*fa.Offset()*fw.Offset()
+		if got != want {
+			t.Fatalf("widths %v: bit-serial dot %d, want %d", widths, got, want)
+		}
+	}
+}
+
+func TestADC(t *testing.T) {
+	a := ADC{Bits: 3, FullScale: 7} // codes 0..7, lsb 1
+	if a.Levels() != 7 {
+		t.Fatalf("levels = %d", a.Levels())
+	}
+	cases := []struct {
+		in   float64
+		code int64
+	}{
+		{0, 0}, {1, 1}, {3.4, 3}, {3.6, 4}, {7, 7}, {9, 7}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := a.Code(c.in); got != c.code {
+			t.Errorf("Code(%v) = %d, want %d", c.in, got, c.code)
+		}
+	}
+	if got := a.Convert(3.6); got != 4 {
+		t.Errorf("Convert(3.6) = %v", got)
+	}
+}
+
+// Property: ADC error is at most half an LSB inside the full scale.
+func TestADCErrorBound(t *testing.T) {
+	a := ADC{Bits: 10, FullScale: 1.5}
+	lsb := a.FullScale / float64(a.Levels())
+	r := linalg.NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		x := r.Float64() * a.FullScale
+		if err := math.Abs(a.Convert(x) - x); err > lsb/2+1e-15 {
+			t.Fatalf("ADC error %v exceeds half lsb %v at %v", err, lsb/2, x)
+		}
+	}
+}
+
+func TestAccSaturate(t *testing.T) {
+	a := Acc{Bits: 8, Frac: 4} // range [−128, 127]
+	if a.Saturate(200) != 127 || a.Saturate(-200) != -128 || a.Saturate(5) != 5 {
+		t.Error("saturation wrong")
+	}
+	if a.Add(100, 100) != 127 {
+		t.Error("saturating add wrong")
+	}
+	if a.Add(-100, -100) != -128 {
+		t.Error("saturating add (negative) wrong")
+	}
+}
+
+func TestAccRescale(t *testing.T) {
+	a := Acc{Bits: 16, Frac: 4}
+	// From 8 fractional bits down to 4: shift right 4 with rounding.
+	if got := a.Rescale(0x10, 8); got != 1 {
+		t.Errorf("Rescale(16, 8) = %d, want 1", got)
+	}
+	if got := a.Rescale(0x18, 8); got != 2 { // 1.5 rounds away from zero
+		t.Errorf("Rescale(24, 8) = %d, want 2", got)
+	}
+	if got := a.Rescale(-0x18, 8); got != -2 {
+		t.Errorf("Rescale(-24, 8) = %d, want -2", got)
+	}
+	// Up-shifting.
+	if got := a.Rescale(3, 2); got != 12 {
+		t.Errorf("Rescale(3, 2) = %d, want 12", got)
+	}
+	// Saturation after rescale.
+	if got := a.Rescale(1<<40, 20); got != a.Max() {
+		t.Errorf("Rescale overflow = %d, want %d", got, a.Max())
+	}
+}
+
+func TestAccDequantize(t *testing.T) {
+	a := Acc{Bits: 32, Frac: 24}
+	if got := a.Dequantize(1 << 24); got != 1 {
+		t.Errorf("Dequantize(2^24) = %v", got)
+	}
+}
+
+// Property: QuantizeSymmetric never returns MinInt, so the magnitude
+// always fits in Bits−1 bits (the invariant sign-magnitude slicing
+// relies on).
+func TestQuantizeSymmetricRange(t *testing.T) {
+	f := FxP{Bits: 6, Frac: 2}
+	check := func(x float64) bool {
+		q := f.QuantizeSymmetric(x)
+		return q >= -f.MaxInt() && q <= f.MaxInt()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if f.QuantizeSymmetric(-1e12) != -f.MaxInt() {
+		t.Error("deep negative did not clamp to -MaxInt")
+	}
+}

@@ -1,0 +1,69 @@
+package xbar
+
+import (
+	"fmt"
+
+	"geniex/internal/linalg"
+)
+
+// Analytical is the paper's baseline model: the crossbar netlist with
+// every device replaced by its low-bias linear conductance. The
+// resulting network is linear in the drive voltages, so for a fixed
+// conductance matrix the whole crossbar collapses to a distortion
+// matrix A with
+//
+//	I_non-ideal = A · V
+//
+// (this is the matrix-inversion formulation used by CxDNN [9]). A is
+// built column-by-column by solving the linear netlist for unit
+// drives; afterwards every MVM is a single dense matrix-vector
+// product, which is what makes the analytical model usable inside the
+// functional simulator.
+type Analytical struct {
+	cfg Config
+	a   *linalg.Dense // Cols×Rows distortion matrix
+}
+
+// NewAnalytical builds the analytical model of a crossbar programmed
+// with conductances g. The cfg.NonLinear flag is ignored: the model is
+// linear by definition.
+func NewAnalytical(cfg Config, g *linalg.Dense) (*Analytical, error) {
+	cfg.NonLinear = false
+	xb, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := xb.Program(g); err != nil {
+		return nil, err
+	}
+	a := linalg.NewDense(cfg.Cols, cfg.Rows)
+	drive := make([]float64, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		linalg.Fill(drive, 0)
+		// Unit drive scaled to the supply keeps the solver in its
+		// validated input range; linearity lets us rescale after.
+		drive[i] = cfg.Vsupply
+		sol, err := xb.Solve(drive)
+		if err != nil {
+			return nil, fmt.Errorf("xbar: analytical column %d: %w", i, err)
+		}
+		for j := 0; j < cfg.Cols; j++ {
+			a.Set(j, i, sol.Currents[j]/cfg.Vsupply)
+		}
+	}
+	return &Analytical{cfg: cfg, a: a}, nil
+}
+
+// Currents returns the model's output currents for drive voltages v.
+func (m *Analytical) Currents(v []float64) []float64 {
+	if len(v) != m.cfg.Rows {
+		panic(fmt.Sprintf("xbar: analytical Currents with %d inputs for %d rows", len(v), m.cfg.Rows))
+	}
+	return m.a.MulVec(v)
+}
+
+// Matrix returns the Cols×Rows distortion matrix A (a copy).
+func (m *Analytical) Matrix() *linalg.Dense { return m.a.Clone() }
+
+// Config returns the design point the model was built for.
+func (m *Analytical) Config() Config { return m.cfg }

@@ -1,0 +1,80 @@
+package xbar
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"geniex/internal/linalg"
+)
+
+// BatchSolve runs the full non-linear circuit solver for a batch of
+// input vectors against a single programmed conductance matrix,
+// fanning out across CPUs. vs is batch×Rows; the result is batch×Cols
+// of non-ideal output currents.
+func BatchSolve(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, error) {
+	if vs.Cols != cfg.Rows {
+		return nil, fmt.Errorf("xbar: BatchSolve inputs have %d columns for %d rows", vs.Cols, cfg.Rows)
+	}
+	out := linalg.NewDense(vs.Rows, cfg.Cols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > vs.Rows {
+		workers = vs.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, vs.Rows)
+	for b := 0; b < vs.Rows; b++ {
+		next <- b
+	}
+	close(next)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			xb, err := New(cfg)
+			if err == nil {
+				err = xb.Program(g)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for b := range next {
+				mu.Lock()
+				done := firstErr != nil
+				mu.Unlock()
+				if done {
+					return
+				}
+				sol, err := xb.Solve(vs.Row(b))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("xbar: batch item %d: %w", b, err)
+					}
+					mu.Unlock()
+					return
+				}
+				copy(out.Row(b), sol.Currents)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

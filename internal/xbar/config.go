@@ -1,0 +1,139 @@
+// Package xbar simulates non-ideal memristive crossbars at the circuit
+// level. It is the repository's substitute for the paper's HSPICE
+// decks: the same netlist topology (word lines and bit lines with
+// source, sink and wire parasitics; an access device and an RRAM cell
+// at every junction) solved by modified nodal analysis with a
+// Newton–Raphson outer loop and a Jacobi-preconditioned conjugate
+// gradient inner solve.
+//
+// Three models of the same crossbar are exposed:
+//
+//   - Ideal: I = Gᵀ·V, the error-free MVM.
+//   - Analytical: the netlist with all devices replaced by linear
+//     resistors — exactly the class of model the paper uses as its
+//     baseline (captures parasitic IR drop, misses data-dependent
+//     device non-linearity). Because that network is linear, it also
+//     collapses to a precomputable distortion matrix A(G) with
+//     I = A·V (the matrix-inversion formulation of CxDNN).
+//   - Circuit: the full non-linear netlist (sinh RRAM + saturating
+//     selector), the stand-in for HSPICE ground truth.
+package xbar
+
+import (
+	"fmt"
+
+	"geniex/internal/device"
+)
+
+// Config describes a crossbar design point. The defaults follow the
+// paper's experimental methodology (Section 6).
+type Config struct {
+	// Rows and Cols give the crossbar dimensions (rows = word lines =
+	// inputs, cols = bit lines = outputs).
+	Rows, Cols int
+
+	// Ron is the device resistance in the fully-ON state (ohms).
+	Ron float64
+	// OnOffRatio is Roff/Ron; conductances are mapped into
+	// [1/Roff, 1/Ron].
+	OnOffRatio float64
+
+	// Parasitics (ohms). Rwire is per cell segment of metal line.
+	Rsource, Rsink, Rwire float64
+
+	// Vsupply is the maximum input (word line) voltage in volts.
+	Vsupply float64
+
+	// RRAM holds the compact-model fitting parameters.
+	RRAM device.RRAMParams
+
+	// SelectorGonFactor sets the access-device low-bias conductance to
+	// SelectorGonFactor/Ron; the access device must be much more
+	// conductive than the memory cell or it dominates the state.
+	SelectorGonFactor float64
+	// SelectorVsat is the saturation voltage scale of the access
+	// device (volts).
+	SelectorVsat float64
+
+	// NonLinear selects the device law: true for the full sinh RRAM +
+	// tanh selector (HSPICE stand-in), false for linear resistors
+	// (the analytical baseline).
+	NonLinear bool
+}
+
+// DefaultConfig returns the paper's nominal 64×64 design point:
+// Ron = 100kΩ, ON/OFF = 6, Rsource = 500Ω, Rsink = 100Ω,
+// Rwire = 2.5Ω/cell, Vsupply = 0.25V, non-linear devices enabled.
+func DefaultConfig() Config {
+	return Config{
+		Rows:              64,
+		Cols:              64,
+		Ron:               100e3,
+		OnOffRatio:        6,
+		Rsource:           500,
+		Rsink:             100,
+		Rwire:             2.5,
+		Vsupply:           0.25,
+		RRAM:              device.DefaultRRAMParams(),
+		SelectorGonFactor: 20,
+		SelectorVsat:      0.35,
+		NonLinear:         true,
+	}
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows <= 0 || c.Cols <= 0:
+		return fmt.Errorf("xbar: dimensions must be positive, got %dx%d", c.Rows, c.Cols)
+	case c.Ron <= 0:
+		return fmt.Errorf("xbar: Ron must be positive, got %g", c.Ron)
+	case c.OnOffRatio <= 1:
+		return fmt.Errorf("xbar: OnOffRatio must exceed 1, got %g", c.OnOffRatio)
+	case c.Rsource <= 0 || c.Rsink <= 0 || c.Rwire <= 0:
+		return fmt.Errorf("xbar: parasitic resistances must be positive, got Rsource=%g Rsink=%g Rwire=%g",
+			c.Rsource, c.Rsink, c.Rwire)
+	case c.Vsupply <= 0:
+		return fmt.Errorf("xbar: Vsupply must be positive, got %g", c.Vsupply)
+	case c.SelectorGonFactor <= 0 || c.SelectorVsat <= 0:
+		return fmt.Errorf("xbar: selector parameters must be positive, got factor=%g vsat=%g",
+			c.SelectorGonFactor, c.SelectorVsat)
+	case c.RRAM.I0 <= 0 || c.RRAM.D0 <= 0 || c.RRAM.V0 <= 0:
+		return fmt.Errorf("xbar: RRAM parameters must be positive, got %+v", c.RRAM)
+	}
+	return nil
+}
+
+// Gon returns the ON-state conductance 1/Ron.
+func (c Config) Gon() float64 { return 1 / c.Ron }
+
+// Goff returns the OFF-state conductance 1/(Ron·OnOffRatio).
+func (c Config) Goff() float64 { return 1 / (c.Ron * c.OnOffRatio) }
+
+// ConductanceFromLevel maps a normalized level in [0, 1] linearly into
+// the programmable window [Goff, Gon]. Levels outside the range are
+// clamped; this mirrors how a write driver would saturate.
+func (c Config) ConductanceFromLevel(level float64) float64 {
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	return c.Goff() + level*(c.Gon()-c.Goff())
+}
+
+// LevelFromConductance inverts ConductanceFromLevel.
+func (c Config) LevelFromConductance(g float64) float64 {
+	return (g - c.Goff()) / (c.Gon() - c.Goff())
+}
+
+// String gives a compact, human-readable design-point description.
+func (c Config) String() string {
+	dev := "linear"
+	if c.NonLinear {
+		dev = "nonlinear"
+	}
+	return fmt.Sprintf("%dx%d Ron=%.0fkΩ on/off=%g Rs=%gΩ Rk=%gΩ Rw=%gΩ V=%gV %s",
+		c.Rows, c.Cols, c.Ron/1e3, c.OnOffRatio, c.Rsource, c.Rsink, c.Rwire, c.Vsupply, dev)
+}

@@ -1,0 +1,312 @@
+package xbar
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/device"
+	"geniex/internal/linalg"
+)
+
+// Crossbar is a programmed crossbar instance ready to solve MVMs at
+// circuit level. It is not safe for concurrent use; use BatchSolve for
+// parallel workloads (it clones per worker).
+type Crossbar struct {
+	cfg Config
+	g   *linalg.Dense // programmed low-bias conductances, Rows×Cols
+
+	sel  device.Element   // access device, shared by all cells
+	cell []device.Element // RRAM per cell, row-major
+
+	pattern *linalg.Pattern
+	coords  []linalg.Coord
+	ws      *linalg.CGWorkspace
+	volt    []float64 // node voltages; reused as Newton/warm start
+	rhs     []float64
+	delta   []float64
+
+	// newton iteration controls
+	maxNewton int
+	tolV      float64
+}
+
+// Node numbering: for cell (i, j) in a Rows×Cols array,
+//
+//	row node  r(i,j) = i·Cols + j        (word-line segment)
+//	mid node  m(i,j) = NM + i·Cols + j   (between selector and RRAM)
+//	col node  c(i,j) = 2NM + i·Cols + j  (bit-line segment)
+//
+// The word-line driver connects through Rsource to r(i,0); bit lines
+// are sensed at virtual ground through Rsink below c(Rows-1,j).
+func (x *Crossbar) rNode(i, j int) int { return i*x.cfg.Cols + j }
+func (x *Crossbar) mNode(i, j int) int {
+	return x.cfg.Rows*x.cfg.Cols + i*x.cfg.Cols + j
+}
+func (x *Crossbar) cNode(i, j int) int {
+	return 2*x.cfg.Rows*x.cfg.Cols + i*x.cfg.Cols + j
+}
+func (x *Crossbar) numNodes() int { return 3 * x.cfg.Rows * x.cfg.Cols }
+
+// New creates a crossbar for the given design point with every cell
+// programmed to Goff. Call Program to load a conductance matrix.
+func New(cfg Config) (*Crossbar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	x := &Crossbar{
+		cfg:       cfg,
+		sel:       newSelector(cfg),
+		maxNewton: 60,
+		tolV:      1e-10,
+	}
+	n := x.numNodes()
+	x.ws = linalg.NewCGWorkspace(n)
+	x.volt = make([]float64, n)
+	x.rhs = make([]float64, n)
+	x.delta = make([]float64, n)
+
+	g := linalg.NewDense(cfg.Rows, cfg.Cols)
+	linalg.Fill(g.Data, cfg.Goff())
+	if err := x.Program(g); err != nil {
+		return nil, err
+	}
+	// Assemble once to freeze the sparsity pattern; subsequent Newton
+	// iterations only update values.
+	x.buildCoords(make([]float64, n))
+	x.pattern = linalg.NewPattern(n, x.coords)
+	return x, nil
+}
+
+func newSelector(cfg Config) device.Element {
+	gon := cfg.SelectorGonFactor / cfg.Ron
+	if cfg.NonLinear {
+		return device.NewSelector(gon, cfg.SelectorVsat)
+	}
+	return device.NewLinear(gon)
+}
+
+// Config returns the design point of this crossbar.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// Program loads a conductance matrix (siemens). Values must lie within
+// [Goff, Gon] up to a small tolerance; out-of-window values are an
+// error rather than silently clamped, since they indicate a bug in the
+// caller's weight mapping.
+//
+// Programming is calibrated the way closed-loop write-verify hardware
+// does it: the stored RRAM state is chosen so that the series
+// combination of access device and RRAM has the target low-bias
+// conductance. Without this, the access device's on-resistance would
+// shift every weight systematically, which a real programming loop
+// compensates for.
+func (x *Crossbar) Program(g *linalg.Dense) error {
+	if g.Rows != x.cfg.Rows || g.Cols != x.cfg.Cols {
+		return fmt.Errorf("xbar: Program with %dx%d matrix on %dx%d crossbar",
+			g.Rows, g.Cols, x.cfg.Rows, x.cfg.Cols)
+	}
+	lo, hi := x.cfg.Goff(), x.cfg.Gon()
+	slack := 1e-9 * hi
+	gsel := x.cfg.SelectorGonFactor / x.cfg.Ron
+	cells := make([]device.Element, len(g.Data))
+	for idx, gv := range g.Data {
+		if gv < lo-slack || gv > hi+slack {
+			return fmt.Errorf("xbar: conductance %g outside window [%g, %g] at cell %d", gv, lo, hi, idx)
+		}
+		// Series calibration: 1/gCell = 1/gv − 1/gsel. The selector is
+		// SelectorGonFactor× more conductive than Gon, so gCell stays
+		// positive by construction.
+		gCell := 1 / (1/gv - 1/gsel)
+		if x.cfg.NonLinear {
+			cells[idx] = device.NewRRAM(gCell, x.cfg.RRAM)
+		} else {
+			cells[idx] = device.NewLinear(gCell)
+		}
+	}
+	x.g = g.Clone()
+	x.cell = cells
+	return nil
+}
+
+// Conductances returns a copy of the programmed conductance matrix.
+func (x *Crossbar) Conductances() *linalg.Dense { return x.g.Clone() }
+
+// buildCoords assembles the Newton-linearized conductance stamp for
+// the current node voltage estimate volt, filling x.coords and x.rhs.
+// The triplet order is deterministic so a Pattern can reuse it.
+func (x *Crossbar) buildCoords(volt []float64) {
+	cfg := x.cfg
+	x.coords = x.coords[:0]
+	linalg.Fill(x.rhs, 0)
+	gw := 1 / cfg.Rwire
+	gsrc := 1 / cfg.Rsource
+	gsnk := 1 / cfg.Rsink
+
+	stamp2 := func(g float64, an, bn int) {
+		x.coords = append(x.coords,
+			linalg.Coord{Row: an, Col: an, Val: g},
+			linalg.Coord{Row: bn, Col: bn, Val: g},
+			linalg.Coord{Row: an, Col: bn, Val: -g},
+			linalg.Coord{Row: bn, Col: an, Val: -g},
+		)
+	}
+
+	// Word-line wire segments.
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j+1 < cfg.Cols; j++ {
+			stamp2(gw, x.rNode(i, j), x.rNode(i, j+1))
+		}
+	}
+	// Bit-line wire segments.
+	for j := 0; j < cfg.Cols; j++ {
+		for i := 0; i+1 < cfg.Rows; i++ {
+			stamp2(gw, x.cNode(i, j), x.cNode(i+1, j))
+		}
+	}
+	// Source resistances: Norton equivalent of the word-line driver.
+	// The drive voltage enters through the RHS during Solve.
+	for i := 0; i < cfg.Rows; i++ {
+		n := x.rNode(i, 0)
+		x.coords = append(x.coords, linalg.Coord{Row: n, Col: n, Val: gsrc})
+	}
+	// Sink resistances to virtual ground at the bottom of each column.
+	for j := 0; j < cfg.Cols; j++ {
+		n := x.cNode(cfg.Rows-1, j)
+		x.coords = append(x.coords, linalg.Coord{Row: n, Col: n, Val: gsnk})
+	}
+	// Devices: selector between row and mid node, RRAM between mid and
+	// column node. Newton companion model: the element behaves as a
+	// conductance g = dI/dV at the present branch voltage plus a
+	// current source Ieq = I(v0) − g·v0.
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			rn, mn, cn := x.rNode(i, j), x.mNode(i, j), x.cNode(i, j)
+			x.stampElement(x.sel, rn, mn, volt)
+			x.stampElement(x.cell[i*cfg.Cols+j], mn, cn, volt)
+		}
+	}
+}
+
+func (x *Crossbar) stampElement(e device.Element, an, bn int, volt []float64) {
+	v0 := volt[an] - volt[bn]
+	g := e.Conductance(v0)
+	ieq := e.Current(v0) - g*v0
+	x.coords = append(x.coords,
+		linalg.Coord{Row: an, Col: an, Val: g},
+		linalg.Coord{Row: bn, Col: bn, Val: g},
+		linalg.Coord{Row: an, Col: bn, Val: -g},
+		linalg.Coord{Row: bn, Col: an, Val: -g},
+	)
+	x.rhs[an] -= ieq
+	x.rhs[bn] += ieq
+}
+
+// Solution is the result of one circuit solve.
+type Solution struct {
+	// Currents are the sensed bit-line output currents (amperes),
+	// positive flowing into the virtual ground; length Cols.
+	Currents []float64
+	// Power is the total power delivered by the word-line drivers
+	// (watts) — by conservation, also the total dissipated in the
+	// array, since the bit lines terminate at ground.
+	Power float64
+	// NewtonIters is the number of Newton iterations used.
+	NewtonIters int
+	// CGIters is the total number of inner CG iterations.
+	CGIters int
+}
+
+// Solve computes the non-ideal output currents for the given word-line
+// drive voltages (length Rows, volts). Voltages may be any value in
+// [0, Vsupply]; values outside are an error.
+func (x *Crossbar) Solve(v []float64) (*Solution, error) {
+	cfg := x.cfg
+	if len(v) != cfg.Rows {
+		return nil, fmt.Errorf("xbar: Solve with %d inputs on %d rows", len(v), cfg.Rows)
+	}
+	for i, vi := range v {
+		if vi < -1e-12 || vi > cfg.Vsupply*(1+1e-9) {
+			return nil, fmt.Errorf("xbar: input %d voltage %g outside [0, %g]", i, vi, cfg.Vsupply)
+		}
+	}
+	gsrc := 1 / cfg.Rsource
+
+	sol := &Solution{}
+	// Start each solve from the flat zero state: warm-starting from an
+	// unrelated input can put the Newton iteration in a bad basin and
+	// costs reproducibility.
+	linalg.Fill(x.volt, 0)
+	for iter := 0; iter < x.maxNewton; iter++ {
+		x.buildCoords(x.volt)
+		// Source injections.
+		for i := 0; i < cfg.Rows; i++ {
+			x.rhs[x.rNode(i, 0)] += gsrc * v[i]
+		}
+		x.pattern.Update(x.coords)
+		// Solve J·vNew = rhs. Use the current voltages as the CG
+		// initial guess; successive Newton systems are close.
+		copy(x.delta, x.volt)
+		cgIters, err := linalg.SolveCG(x.pattern.Matrix(), x.rhs, x.delta, x.ws, linalg.CGOptions{Tol: 1e-12})
+		if err != nil {
+			return nil, fmt.Errorf("xbar: Newton iteration %d: %w", iter, err)
+		}
+		sol.CGIters += cgIters
+		sol.NewtonIters = iter + 1
+
+		var maxStep float64
+		for n := range x.volt {
+			if d := math.Abs(x.delta[n] - x.volt[n]); d > maxStep {
+				maxStep = d
+			}
+		}
+		copy(x.volt, x.delta)
+		if maxStep < x.tolV {
+			break
+		}
+		if !cfg.NonLinear && iter == 0 {
+			// Linear network: the first solve is exact.
+			break
+		}
+	}
+
+	gsnk := 1 / cfg.Rsink
+	sol.Currents = make([]float64, cfg.Cols)
+	for j := 0; j < cfg.Cols; j++ {
+		sol.Currents[j] = gsnk * x.volt[x.cNode(cfg.Rows-1, j)]
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		sol.Power += v[i] * (v[i] - x.volt[x.rNode(i, 0)]) * gsrc
+	}
+	return sol, nil
+}
+
+// NodeVoltage reports the solved voltage of an internal node; kind is
+// "row", "mid" or "col". Intended for tests and debugging.
+func (x *Crossbar) NodeVoltage(kind string, i, j int) float64 {
+	switch kind {
+	case "row":
+		return x.volt[x.rNode(i, j)]
+	case "mid":
+		return x.volt[x.mNode(i, j)]
+	case "col":
+		return x.volt[x.cNode(i, j)]
+	}
+	panic("xbar: unknown node kind " + kind)
+}
+
+// IdealCurrents returns the error-free MVM I_j = Σ_i V_i·G_ij.
+func IdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	if len(v) != g.Rows {
+		panic(fmt.Sprintf("xbar: IdealCurrents with %d inputs for %d rows", len(v), g.Rows))
+	}
+	out := make([]float64, g.Cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := g.Row(i)
+		for j, gij := range row {
+			out[j] += vi * gij
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package xbar
+
+import "geniex/internal/linalg"
+
+// CurrentFloor is the fraction of the full-scale ideal current below
+// which a column is considered "dark": ratios against near-zero ideal
+// currents are numerically meaningless, so NF and fR fall back to
+// their ideal values (0 and 1) there. The same floor is used when
+// GENIEx training labels are generated, keeping model and metric
+// consistent.
+const CurrentFloor = 1e-4
+
+// fullScale returns the maximum ideal column current for a design
+// point: every input at Vsupply through every cell at Gon.
+func fullScale(cfg Config) float64 {
+	return float64(cfg.Rows) * cfg.Vsupply * cfg.Gon()
+}
+
+// NF computes the paper's non-ideality factor per column,
+//
+//	NF_j = (Iideal_j − Inonideal_j) / Iideal_j,
+//
+// with dark columns (|Iideal| below the floor) reported as 0.
+func NF(ideal, nonideal []float64, cfg Config) []float64 {
+	floor := CurrentFloor * fullScale(cfg)
+	out := make([]float64, len(ideal))
+	for j := range ideal {
+		if ideal[j] <= floor {
+			out[j] = 0
+			continue
+		}
+		out[j] = (ideal[j] - nonideal[j]) / ideal[j]
+	}
+	return out
+}
+
+// Ratio computes the paper's fR per column,
+//
+//	fR_j = Iideal_j / Inonideal_j,
+//
+// with dark columns reported as 1 (no distortion). fR is the quantity
+// GENIEx learns to predict.
+func Ratio(ideal, nonideal []float64, cfg Config) []float64 {
+	floor := CurrentFloor * fullScale(cfg)
+	out := make([]float64, len(ideal))
+	for j := range ideal {
+		if ideal[j] <= floor || nonideal[j] <= floor*1e-3 {
+			out[j] = 1
+			continue
+		}
+		out[j] = ideal[j] / nonideal[j]
+	}
+	return out
+}
+
+// ApplyRatio reconstructs non-ideal currents from ideal currents and a
+// predicted fR vector: Inonideal = Iideal/fR. Ratios at or below zero
+// (which a badly trained predictor could emit) are treated as 1.
+func ApplyRatio(ideal, fr []float64) []float64 {
+	out := make([]float64, len(ideal))
+	for j := range ideal {
+		r := fr[j]
+		if r <= 0 {
+			r = 1
+		}
+		out[j] = ideal[j] / r
+	}
+	return out
+}
+
+// NFStats summarizes per-column NF values pooled over a set of solves;
+// this is the quantity box-plotted in Fig. 2(b,c,d).
+func NFStats(nfs [][]float64) linalg.Summary {
+	var pool []float64
+	for _, nf := range nfs {
+		pool = append(pool, nf...)
+	}
+	return linalg.Summarize(pool)
+}

@@ -1,0 +1,74 @@
+package xbar
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// Variation describes programming-time conductance disturbances:
+// log-normal device-to-device variation plus stuck-at faults. These
+// are the non-idealities the paper's related work (Vortex, defect
+// mapping) models by distribution; here they perturb the programmed
+// conductance matrix so both the circuit solver and GENIEx (which is
+// data-based and can therefore be trained on measured, noisy arrays)
+// see them.
+type Variation struct {
+	// Sigma is the standard deviation of the log-normal conductance
+	// perturbation: g ← g·exp(σ·N(0,1)), clamped to the programming
+	// window. Zero disables variation.
+	Sigma float64
+	// StuckOn and StuckOff are the probabilities that a cell is stuck
+	// at Gon and Goff respectively (stuck-at faults [14]).
+	StuckOn, StuckOff float64
+	// Seed drives the perturbation deterministically.
+	Seed uint64
+}
+
+// Validate reports whether the variation parameters are meaningful.
+func (v Variation) Validate() error {
+	if v.Sigma < 0 {
+		return fmt.Errorf("xbar: negative variation sigma %g", v.Sigma)
+	}
+	if v.StuckOn < 0 || v.StuckOff < 0 || v.StuckOn+v.StuckOff > 1 {
+		return fmt.Errorf("xbar: invalid stuck-at probabilities on=%g off=%g", v.StuckOn, v.StuckOff)
+	}
+	return nil
+}
+
+// Apply returns a perturbed copy of the target conductance matrix:
+// what the array actually holds after an imperfect programming pass.
+// The intended matrix is untouched, so callers can compute ideal
+// currents against the intent and non-ideal currents against reality.
+func (v Variation) Apply(g *linalg.Dense, cfg Config) (*linalg.Dense, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	rng := linalg.NewRNG(v.Seed)
+	out := g.Clone()
+	lo, hi := cfg.Goff(), cfg.Gon()
+	for i := range out.Data {
+		switch {
+		case rng.Float64() < v.StuckOn:
+			out.Data[i] = hi
+		case rng.Float64() < v.StuckOff:
+			out.Data[i] = lo
+		default:
+			if v.Sigma > 0 {
+				out.Data[i] *= lognormal(rng, v.Sigma)
+			}
+		}
+		if out.Data[i] < lo {
+			out.Data[i] = lo
+		}
+		if out.Data[i] > hi {
+			out.Data[i] = hi
+		}
+	}
+	return out, nil
+}
+
+func lognormal(rng *linalg.RNG, sigma float64) float64 {
+	return math.Exp(sigma * rng.Norm())
+}

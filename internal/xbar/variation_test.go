@@ -1,0 +1,164 @@
+package xbar
+
+import (
+	"math"
+	"testing"
+
+	"geniex/internal/linalg"
+)
+
+func midLevels(cfg Config) *linalg.Dense {
+	g := linalg.NewDense(cfg.Rows, cfg.Cols)
+	linalg.Fill(g.Data, cfg.ConductanceFromLevel(0.5))
+	return g
+}
+
+func TestVariationValidate(t *testing.T) {
+	good := []Variation{{}, {Sigma: 0.1}, {StuckOn: 0.1, StuckOff: 0.2}}
+	for _, v := range good {
+		if err := v.Validate(); err != nil {
+			t.Errorf("%+v invalid: %v", v, err)
+		}
+	}
+	bad := []Variation{{Sigma: -1}, {StuckOn: -0.1}, {StuckOn: 0.6, StuckOff: 0.6}}
+	for _, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", v)
+		}
+	}
+}
+
+func TestVariationZeroIsIdentity(t *testing.T) {
+	cfg := smallConfig()
+	g := midLevels(cfg)
+	out, err := Variation{Seed: 1}.Apply(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if out.Data[i] != g.Data[i] {
+			t.Fatalf("zero variation changed cell %d", i)
+		}
+	}
+}
+
+func TestVariationStaysInWindow(t *testing.T) {
+	cfg := smallConfig()
+	r := linalg.NewRNG(2)
+	g := randomLevels(cfg, r)
+	out, err := Variation{Sigma: 0.5, StuckOn: 0.05, StuckOff: 0.05, Seed: 3}.Apply(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if v < cfg.Goff() || v > cfg.Gon() {
+			t.Fatalf("cell %d conductance %v outside window", i, v)
+		}
+	}
+}
+
+func TestVariationDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	r := linalg.NewRNG(4)
+	g := randomLevels(cfg, r)
+	v := Variation{Sigma: 0.2, Seed: 5}
+	a, err := v.Apply(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.Apply(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different perturbations")
+		}
+	}
+}
+
+func TestVariationPerturbs(t *testing.T) {
+	cfg := smallConfig()
+	g := midLevels(cfg)
+	out, err := Variation{Sigma: 0.3, Seed: 7}.Apply(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range g.Data {
+		if out.Data[i] != g.Data[i] {
+			changed++
+		}
+	}
+	if changed < len(g.Data)/2 {
+		t.Errorf("only %d/%d cells perturbed", changed, len(g.Data))
+	}
+}
+
+func TestStuckAtRates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 64, 64 // enough cells for rate statistics
+	g := midLevels(cfg)
+	out, err := Variation{StuckOn: 0.1, StuckOff: 0.2, Seed: 11}.Apply(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on, off int
+	for _, v := range out.Data {
+		switch v {
+		case cfg.Gon():
+			on++
+		case cfg.Goff():
+			off++
+		}
+	}
+	n := float64(len(out.Data))
+	if r := float64(on) / n; math.Abs(r-0.1) > 0.03 {
+		t.Errorf("stuck-on rate %.3f, want ~0.10", r)
+	}
+	// Stuck-off draws happen only on the cells not already stuck on,
+	// so the expected rate is 0.2·(1−0.1) = 0.18.
+	if r := float64(off) / n; math.Abs(r-0.18) > 0.03 {
+		t.Errorf("stuck-off rate %.3f, want ~0.18", r)
+	}
+}
+
+// Variation must worsen MVM fidelity: NF spread (|NF|) grows with
+// sigma because the realized conductances differ from the intent.
+func TestVariationIncreasesNFSpread(t *testing.T) {
+	cfg := smallConfig()
+	r := linalg.NewRNG(13)
+	g := randomLevels(cfg, r)
+	v := make([]float64, cfg.Rows)
+	linalg.Fill(v, cfg.Vsupply)
+
+	spread := func(sigma float64) float64 {
+		pert, err := Variation{Sigma: sigma, Seed: 17}.Apply(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := xb.Program(pert); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := xb.Solve(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NF against the intended matrix.
+		nf := NF(IdealCurrents(v, g), sol.Currents, cfg)
+		var sum float64
+		for _, f := range nf {
+			sum += math.Abs(f)
+		}
+		return sum / float64(len(nf))
+	}
+	clean := spread(0)
+	noisy := spread(0.4)
+	if noisy <= clean {
+		t.Errorf("variation did not increase NF spread: %v vs %v", noisy, clean)
+	}
+}
