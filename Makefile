@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the full gate: vet, build,
+# the whole test suite, and the race detector on the packages with
+# concurrent solver paths.
+
+GO ?= go
+
+# Packages whose batch/solver code fans out across goroutines; the
+# race detector must stay clean on these.
+RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/linalg
+
+.PHONY: check vet build test race
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full repository gate: vet, build, tests, and the race detector on
+# the concurrency-bearing solver packages. Mirrors `make check` for
+# environments without make.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/xbar ./internal/funcsim ./internal/linalg

@@ -18,6 +18,7 @@ import (
 	"geniex/internal/funcsim"
 	"geniex/internal/models"
 	"geniex/internal/quant"
+	"geniex/internal/xbar"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run() error {
 		geniexM   = flag.String("geniex-model", "", "load a pretrained GENIEx model (gob) instead of training one")
 		calibrate = flag.Bool("calibrate", false, "apply per-column gain calibration to the analog model")
 		noise     = flag.Float64("noise", 0, "read-noise sigma as a fraction of full-scale current")
+		policy    = flag.String("solver-policy", "recover", "circuit-solver non-convergence handling: recover, failfast or besteffort")
+		degraded  = flag.Bool("degraded", false, "circuit mode: continue with zeroed currents for batch items that fail even after recovery")
 		seed      = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -69,6 +72,11 @@ func run() error {
 	simCfg.Act = quant.FxP{Bits: *bits, Frac: *bits - 3}
 	simCfg.StreamBits, simCfg.SliceBits = *streams, *slices
 	simCfg.ADCBits = *adc
+	pol, err := xbar.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	simCfg.Xbar.Policy = pol
 	if err := simCfg.Validate(); err != nil {
 		return err
 	}
@@ -84,13 +92,15 @@ func run() error {
 	fmt.Printf("float32 accuracy: %.2f%%\n", 100*floatAcc)
 
 	var model funcsim.Model
+	var health *funcsim.SolverHealth
 	switch *mode {
 	case "ideal":
 		model = funcsim.Ideal{}
 	case "analytical":
 		model = funcsim.Analytical{Cfg: simCfg.Xbar}
 	case "circuit":
-		model = funcsim.Circuit{Cfg: simCfg.Xbar}
+		health = &funcsim.SolverHealth{}
+		model = funcsim.Circuit{Cfg: simCfg.Xbar, Degraded: *degraded, Health: health}
 	case "geniex":
 		var gx *core.Model
 		if *geniexM != "" {
@@ -153,5 +163,8 @@ func run() error {
 		return err
 	}
 	fmt.Printf("crossbar accuracy: %.2f%%  (degradation %.2f%%)\n", 100*acc, 100*(floatAcc-acc))
+	if health != nil {
+		fmt.Println(health.Counts().String())
+	}
 	return nil
 }

@@ -37,6 +37,7 @@ func run() error {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		linear  = flag.Bool("linear", false, "use linear devices (analytical-style netlist)")
 		spice   = flag.String("spice", "", "export one SPICE netlist of the first workload to this file")
+		policy  = flag.String("solver-policy", "recover", "non-convergence handling: recover, failfast or besteffort")
 	)
 	flag.Parse()
 
@@ -47,6 +48,11 @@ func run() error {
 	cfg.Rsource, cfg.Rsink, cfg.Rwire = *rsource, *rsink, *rwire
 	cfg.Vsupply = *vdd
 	cfg.NonLinear = !*linear
+	pol, err := xbar.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfg.Policy = pol
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -55,6 +61,8 @@ func run() error {
 	rng := linalg.NewRNG(*seed)
 	var nfAll []float64
 	var newtonTotal, cgTotal int
+	var converged, recovered, luFallbacks, unconverged int
+	worstResid := 0.0
 	xb, err := xbar.New(cfg)
 	if err != nil {
 		return err
@@ -92,9 +100,23 @@ func run() error {
 		nfAll = append(nfAll, xbar.NF(xbar.IdealCurrents(v, g), sol.Currents, cfg)...)
 		newtonTotal += sol.NewtonIters
 		cgTotal += sol.CGIters
+		luFallbacks += sol.LUFallbacks
+		if sol.Converged {
+			converged++
+		} else {
+			unconverged++
+		}
+		if sol.Recovery != "" && sol.Recovery != "best-effort" {
+			recovered++
+		}
+		if sol.Residual > worstResid {
+			worstResid = sol.Residual
+		}
 	}
 	fmt.Printf("solved %d workloads (%.1f Newton iters, %.0f CG iters per solve)\n",
 		*samples, float64(newtonTotal)/float64(*samples), float64(cgTotal)/float64(*samples))
+	fmt.Printf("solver health: %d/%d converged, %d recovered, %d unconverged, %d LU fallbacks, worst KCL residual %.3g\n",
+		converged, *samples, recovered, unconverged, luFallbacks, worstResid)
 	fmt.Println("non-ideality factor NF =", linalg.Summarize(nfAll).String())
 	return nil
 }

@@ -58,7 +58,7 @@ func TestFig2bTrend(t *testing.T) {
 	for _, n := range []int{4, 8, 16} {
 		cfg := c.BaseXbar()
 		cfg.Rows, cfg.Cols = n, n
-		nf, _, _, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
+		nf, _, _, _, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
 		if err != nil {
 			t.Fatal(err)
 		}

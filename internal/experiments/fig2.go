@@ -7,11 +7,58 @@ import (
 	"geniex/internal/xbar"
 )
 
+// solverHealth aggregates per-solve diagnostics across a sweep so the
+// tables can report how hard the circuit solver had to work — and
+// whether any point needed the recovery ladder.
+type solverHealth struct {
+	solves, converged, recovered, unconverged, luFallbacks int
+	newtonIters                                            int
+	worstResid                                             float64
+}
+
+func (h *solverHealth) record(sol *xbar.Solution) {
+	h.solves++
+	h.newtonIters += sol.NewtonIters
+	h.luFallbacks += sol.LUFallbacks
+	if sol.Converged {
+		h.converged++
+	} else {
+		h.unconverged++
+	}
+	if sol.Recovery != "" && sol.Recovery != "best-effort" {
+		h.recovered++
+	}
+	if sol.Residual > h.worstResid {
+		h.worstResid = sol.Residual
+	}
+}
+
+func (h *solverHealth) add(other solverHealth) {
+	h.solves += other.solves
+	h.converged += other.converged
+	h.recovered += other.recovered
+	h.unconverged += other.unconverged
+	h.luFallbacks += other.luFallbacks
+	h.newtonIters += other.newtonIters
+	if other.worstResid > h.worstResid {
+		h.worstResid = other.worstResid
+	}
+}
+
+func (h *solverHealth) note(t *Table) {
+	if h.solves == 0 {
+		return
+	}
+	t.Note("solver health: %d/%d converged, %d recovered, %d unconverged, %d LU fallbacks, %.1f Newton iters/solve, worst KCL residual %.2g",
+		h.converged, h.solves, h.recovered, h.unconverged, h.luFallbacks,
+		float64(h.newtonIters)/float64(h.solves), h.worstResid)
+}
+
 // sampleNF draws random sparse (V, G) workloads for a design point,
 // solves the full non-linear circuit, and returns the pooled
 // per-column NF values together with paired (ideal, non-ideal)
-// currents.
-func sampleNF(cfg xbar.Config, samples int, seed uint64) (nf, ideal, nonideal []float64, err error) {
+// currents and aggregate solver-health counters.
+func sampleNF(cfg xbar.Config, samples int, seed uint64) (nf, ideal, nonideal []float64, health solverHealth, err error) {
 	rng := linalg.NewRNG(seed)
 	vs := linalg.NewDense(samples, cfg.Rows)
 	gs := make([]*linalg.Dense, samples)
@@ -39,6 +86,7 @@ func sampleNF(cfg xbar.Config, samples int, seed uint64) (nf, ideal, nonideal []
 	nfAll := make([][]float64, samples)
 	idealAll := make([][]float64, samples)
 	nonAll := make([][]float64, samples)
+	sols := make([]*xbar.Solution, samples)
 	linalg.ParallelFor(samples, func(lo, hi int) {
 		xb, err := xbar.New(cfg)
 		if err != nil {
@@ -57,6 +105,7 @@ func sampleNF(cfg xbar.Config, samples int, seed uint64) (nf, ideal, nonideal []
 				errs[s] = err
 				return
 			}
+			sols[s] = sol
 			id := xbar.IdealCurrents(vs.Row(s), gs[s])
 			nfAll[s] = xbar.NF(id, sol.Currents, cfg)
 			idealAll[s] = id
@@ -65,15 +114,16 @@ func sampleNF(cfg xbar.Config, samples int, seed uint64) (nf, ideal, nonideal []
 	})
 	for _, e := range errs {
 		if e != nil {
-			return nil, nil, nil, e
+			return nil, nil, nil, health, e
 		}
 	}
 	for s := 0; s < samples; s++ {
 		nf = append(nf, nfAll[s]...)
 		ideal = append(ideal, idealAll[s]...)
 		nonideal = append(nonideal, nonAll[s]...)
+		health.record(sols[s])
 	}
-	return nf, ideal, nonideal, nil
+	return nf, ideal, nonideal, health, nil
 }
 
 func summaryRow(t *Table, label string, values []float64) {
@@ -120,7 +170,7 @@ func init() {
 // bands of ideal current, the spread of the non-ideal current.
 func fig2a(c *Context) (*Table, error) {
 	cfg := c.BaseXbar()
-	_, ideal, nonideal, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
+	_, ideal, nonideal, health, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +200,7 @@ func fig2a(c *Context) (*Table, error) {
 			s.Min*1e6, s.Median*1e6, s.Max*1e6, d.Median)
 	}
 	t.Note("similar ideal currents map to a spread of non-ideal currents (data dependence)")
+	health.note(t)
 	return t, nil
 }
 
@@ -159,6 +210,7 @@ func fig2Sweep(c *Context, param string, values []float64, apply func(*xbar.Conf
 		Title:   fmt.Sprintf("Fig 2 sweep — NF distribution vs %s", param),
 		Columns: []string{param, "min", "q1", "median", "q3", "max", "mean"},
 	}
+	var total solverHealth
 	for _, v := range values {
 		cfg := c.BaseXbar()
 		apply(&cfg, v)
@@ -166,12 +218,14 @@ func fig2Sweep(c *Context, param string, values []float64, apply func(*xbar.Conf
 			// Keep tiny-scale runs fast; the trend is visible at ≤32.
 			continue
 		}
-		nf, _, _, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
+		nf, _, _, health, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed)
 		if err != nil {
 			return nil, err
 		}
+		total.add(health)
 		summaryRow(t, fmt.Sprintf("%g", v), nf)
 		c.logf("  %s=%g done", param, v)
 	}
+	total.note(t)
 	return t, nil
 }

@@ -31,11 +31,11 @@ func fig3(c *Context) (*Table, error) {
 
 		linCfg := cfg
 		linCfg.NonLinear = false
-		_, _, linCurr, err := sampleNF(linCfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		_, _, linCurr, _, err := sampleNF(linCfg, c.Scale.XbarSamples, c.Scale.Seed+100)
 		if err != nil {
 			return nil, err
 		}
-		_, _, nlCurr, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		_, _, nlCurr, _, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed+100)
 		if err != nil {
 			return nil, err
 		}
@@ -67,11 +67,11 @@ func Fig3RelErrors(c *Context, voltages []float64) ([]float64, error) {
 		cfg.Vsupply = vs
 		linCfg := cfg
 		linCfg.NonLinear = false
-		_, _, linCurr, err := sampleNF(linCfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		_, _, linCurr, _, err := sampleNF(linCfg, c.Scale.XbarSamples, c.Scale.Seed+100)
 		if err != nil {
 			return nil, err
 		}
-		_, _, nlCurr, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed+100)
+		_, _, nlCurr, _, err := sampleNF(cfg, c.Scale.XbarSamples, c.Scale.Seed+100)
 		if err != nil {
 			return nil, err
 		}

@@ -489,6 +489,9 @@ func TestGENIExApproximatesCircuitEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("circuit-in-the-loop run is slow")
 	}
+	if raceDetectorEnabled {
+		t.Skip("circuit-in-the-loop run exceeds the test timeout under -race")
+	}
 	r := linalg.NewRNG(21)
 	net := buildTinyCNN(r)
 	for i := 0; i < 10; i++ {

@@ -19,6 +19,7 @@ package funcsim
 
 import (
 	"fmt"
+	"sync"
 
 	"geniex/internal/core"
 	"geniex/internal/linalg"
@@ -117,11 +118,65 @@ func (t *geniexTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
 	return out, nil
 }
 
+// SolverHealth aggregates circuit-solver outcomes across every tile
+// and batch a Circuit model executes. Share one collector between the
+// model and the reporting layer to surface solver-health counters in
+// experiment output. Safe for concurrent use.
+type SolverHealth struct {
+	mu sync.Mutex
+	c  SolverHealthCounts
+}
+
+// SolverHealthCounts is a snapshot of the collector.
+type SolverHealthCounts struct {
+	// Batches and Items count BatchSolve calls and batch items.
+	Batches, Items int64
+	// Recovered, Retried, Failed, Unconverged count items by outcome.
+	Recovered, Retried, Failed, Unconverged int64
+	// LUFallbacks and CGBreakdowns aggregate inner-solver events.
+	LUFallbacks, CGBreakdowns int64
+}
+
+func (h *SolverHealth) record(rep *xbar.BatchReport) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.c.Batches++
+	h.c.Items += int64(len(rep.Outcomes))
+	h.c.Recovered += int64(rep.Recovered)
+	h.c.Retried += int64(rep.Retried)
+	h.c.Failed += int64(rep.Failed)
+	h.c.Unconverged += int64(rep.Unconverged)
+	h.c.LUFallbacks += int64(rep.LUFallbacks)
+	h.c.CGBreakdowns += int64(rep.CGBreakdowns)
+}
+
+// Counts returns a snapshot of the counters.
+func (h *SolverHealth) Counts() SolverHealthCounts {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.c
+}
+
+// String summarizes the counters.
+func (c SolverHealthCounts) String() string {
+	return fmt.Sprintf("solver health: %d batches, %d items (%d recovered, %d retried, %d failed, %d unconverged), %d LU fallbacks, %d CG breakdowns",
+		c.Batches, c.Items, c.Recovered, c.Retried, c.Failed, c.Unconverged, c.LUFallbacks, c.CGBreakdowns)
+}
+
 // Circuit runs the full non-linear solver per tile — the ground-truth
 // mode. It is orders of magnitude slower than the other models and
 // exists for validation on small workloads.
 type Circuit struct {
 	Cfg xbar.Config
+	// Degraded selects failed-batch-item handling: false (the default)
+	// fails the MVM when any item fails even after the solver's retry
+	// ladder; true zeroes the failed items' currents and continues, so
+	// one bad input no longer kills a whole evaluation. Either way the
+	// outcome is counted in Health.
+	Degraded bool
+	// Health, when non-nil, collects solver outcomes across all tiles
+	// created from this model (value copies share the pointer).
+	Health *SolverHealth
 }
 
 // Name implements Model.
@@ -132,14 +187,27 @@ func (m Circuit) NewTile(g *linalg.Dense) (Tile, error) {
 	if err := m.Cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return circuitTile{cfg: m.Cfg, g: g.Clone()}, nil
+	return circuitTile{cfg: m.Cfg, g: g.Clone(), degraded: m.Degraded, health: m.Health}, nil
 }
 
 type circuitTile struct {
-	cfg xbar.Config
-	g   *linalg.Dense
+	cfg      xbar.Config
+	g        *linalg.Dense
+	degraded bool
+	health   *SolverHealth
 }
 
 func (t circuitTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
-	return xbar.BatchSolve(t.cfg, t.g, v)
+	out, rep, err := xbar.BatchSolveReport(t.cfg, t.g, v)
+	if err != nil {
+		return nil, err
+	}
+	if t.health != nil {
+		t.health.record(rep)
+	}
+	if rep.Failed > 0 && !t.degraded {
+		return nil, fmt.Errorf("funcsim: circuit tile: %d of %d batch items failed: %w",
+			rep.Failed, len(rep.Outcomes), rep.FirstError())
+	}
+	return out, nil
 }

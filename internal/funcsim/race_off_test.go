@@ -1,0 +1,5 @@
+//go:build !race
+
+package funcsim
+
+const raceDetectorEnabled = false

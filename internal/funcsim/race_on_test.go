@@ -1,0 +1,9 @@
+//go:build race
+
+package funcsim
+
+// raceDetectorEnabled lets circuit-in-the-loop tests skip under the
+// race detector, whose ~10× slowdown pushes them past the test
+// timeout. The concurrency they exercise is covered by the faster
+// batch-solver tests, which do run under -race.
+const raceDetectorEnabled = true

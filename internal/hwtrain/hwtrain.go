@@ -63,6 +63,13 @@ type hwLayer struct {
 	mat      *funcsim.Matrix // lowered view of the current weights
 	staleFor int
 	refresh  int
+
+	// err holds the first lowering or hardware-forward failure. The
+	// nn.Layer interface cannot return errors, so Forward records the
+	// failure here, falls back to the float result, and the training
+	// loop surfaces it via PendingError — one bad tile aborts the run
+	// with a real error instead of a panic.
+	err error
 }
 
 // newHWLayer wraps inner; refresh sets the re-lowering cadence.
@@ -101,11 +108,19 @@ func (h *hwLayer) ensureLowered() error {
 
 // Forward implements nn.Layer: the float forward runs first (in
 // training mode, so backward caches populate), then the hardware
-// result replaces the activation values.
+// result replaces the activation values. On a lowering or hardware
+// failure the float result is returned unchanged and the error is
+// recorded for PendingError — the interface has no error channel, and
+// the float path keeps the network state consistent until the caller
+// aborts.
 func (h *hwLayer) Forward(x *linalg.Dense, train bool) *linalg.Dense {
 	float := h.inner.Forward(x, train)
+	if h.err != nil {
+		return float
+	}
 	if err := h.ensureLowered(); err != nil {
-		panic(fmt.Sprintf("hwtrain: lowering: %v", err))
+		h.err = fmt.Errorf("hwtrain: lowering: %w", err)
+		return float
 	}
 	var hw *linalg.Dense
 	var err error
@@ -116,9 +131,9 @@ func (h *hwLayer) Forward(x *linalg.Dense, train bool) *linalg.Dense {
 		hw, err = h.forwardLinear(l, x)
 	}
 	if err != nil {
-		panic(fmt.Sprintf("hwtrain: hardware forward: %v", err))
+		h.err = fmt.Errorf("hwtrain: hardware forward: %w", err)
+		return float
 	}
-	_ = float
 	return hw
 }
 
@@ -221,9 +236,35 @@ func WrapNetwork(net *nn.Sequential, eng *funcsim.Engine, refresh int) (*nn.Sequ
 	return out, nil
 }
 
+// PendingError returns the first hardware failure recorded by any
+// wrapped layer in the network (nil when the hardware path is
+// healthy). Callers driving a wrapped network directly should check it
+// after each forward pass; FineTune does so automatically.
+func PendingError(net *nn.Sequential) error {
+	for _, layer := range net.Layers {
+		switch l := layer.(type) {
+		case *hwLayer:
+			if l.err != nil {
+				return l.err
+			}
+		case *nn.Residual:
+			if err := PendingError(l.Body); err != nil {
+				return err
+			}
+		case *nn.Sequential:
+			if err := PendingError(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // FineTune retrains the network with the hardware in the loop. The
 // original network's weights are updated in place (the wrapper shares
-// them).
+// them). A lowering or hardware-forward failure aborts the run with an
+// error after the offending batch; the weights keep whatever updates
+// completed before it.
 func FineTune(net *nn.Sequential, eng *funcsim.Engine, set *dataset.Set, opt Options) error {
 	opt = opt.withDefaults()
 	wrapped, err := WrapNetwork(net, eng, opt.RefreshEvery)
@@ -234,13 +275,22 @@ func FineTune(net *nn.Sequential, eng *funcsim.Engine, set *dataset.Set, opt Opt
 	optim := nn.NewSGD(params, opt.LR, opt.Momentum, 0)
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
 		set.Batches(opt.BatchSize, opt.Seed+uint64(epoch)*7919, func(x *linalg.Dense, y []int) {
+			if PendingError(wrapped) != nil {
+				return // a tile already failed; stop updating weights
+			}
 			nn.ZeroGrad(params)
 			logits := wrapped.Forward(x, true)
+			if PendingError(wrapped) != nil {
+				return // this batch's forward failed: discard it
+			}
 			_, grad := nn.SoftmaxCrossEntropy(logits, y)
 			wrapped.Backward(grad)
 			nn.ClipGradNorm(params, 5)
 			optim.Step()
 		})
+		if err := PendingError(wrapped); err != nil {
+			return err
+		}
 	}
 	return nil
 }

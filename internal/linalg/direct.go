@@ -1,0 +1,26 @@
+package linalg
+
+import "fmt"
+
+// MaxDirectN caps the dimension SolveDirect accepts. Densifying an
+// n×n sparse system costs n² floats of memory and n³ flops to factor;
+// beyond a few thousand nodes that stops being a sensible fallback
+// (a 12k-node crossbar system would densify to over a gigabyte).
+const MaxDirectN = 4096
+
+// SolveDirect solves A·x = b by expanding the sparse matrix to dense
+// form and running pivoted LU. It is the robust fallback for systems
+// where CG breaks down: LU with partial pivoting does not require the
+// matrix to be positive definite, only non-singular. The cost is
+// O(n³), so it is reserved for recovery paths, never the hot loop;
+// systems larger than MaxDirectN are refused rather than thrashing
+// memory.
+func SolveDirect(a *CSR, b []float64) ([]float64, error) {
+	if a.N != len(b) {
+		panic(fmt.Sprintf("linalg: SolveDirect dims n=%d len(b)=%d", a.N, len(b)))
+	}
+	if a.N > MaxDirectN {
+		return nil, fmt.Errorf("linalg: SolveDirect refused for n=%d (> %d); system too large to densify", a.N, MaxDirectN)
+	}
+	return SolveDense(a.Dense(), b)
+}

@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// SolveDirect must agree with CG on an SPD system and succeed on the
+// indefinite systems that break CG — that is the whole point of the
+// fallback.
+func TestSolveDirectMatchesCG(t *testing.T) {
+	r := NewRNG(61)
+	a := buildSPD(r, 40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	cg := make([]float64, 40)
+	if _, err := SolveCG(a, b, cg, nil, CGOptions{Tol: 1e-13}); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := SolveDirect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if !almostEqual(direct[i], cg[i], 1e-8) {
+			t.Fatalf("x[%d]: direct %v vs cg %v", i, direct[i], cg[i])
+		}
+	}
+}
+
+func TestSolveDirectHandlesIndefinite(t *testing.T) {
+	// Indefinite but non-singular: CG breaks down, LU must not.
+	m := NewCSR(2, []Coord{{0, 0, 1}, {1, 1, -1}})
+	b := []float64{1, 1}
+	if _, err := SolveCG(m, b, make([]float64, 2), nil, CGOptions{MaxIter: 10}); err == nil {
+		t.Fatal("expected CG breakdown on indefinite system")
+	}
+	x, err := SolveDirect(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], -1, 1e-12) {
+		t.Errorf("x = %v, want [1 -1]", x)
+	}
+}
+
+func TestSolveDirectSingular(t *testing.T) {
+	m := NewCSR(2, []Coord{{0, 0, 1}, {0, 1, 2}, {1, 0, 2}, {1, 1, 4}})
+	if _, err := SolveDirect(m, []float64{1, 1}); err == nil {
+		t.Error("expected singular-matrix error")
+	}
+}
+
+func TestSolveDirectRefusesHugeSystems(t *testing.T) {
+	n := MaxDirectN + 1
+	coords := make([]Coord, n)
+	for i := range coords {
+		coords[i] = Coord{Row: i, Col: i, Val: 1}
+	}
+	m := NewCSR(n, coords)
+	if _, err := SolveDirect(m, make([]float64, n)); err == nil {
+		t.Error("expected size-cap refusal")
+	}
+}
+
+func TestCGStatsResidualConsistent(t *testing.T) {
+	r := NewRNG(67)
+	a := buildSPD(r, 30)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	x := make([]float64, 30)
+	stats, err := SolveCG(a, b, x, nil, CGOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the residual independently; it must match the reported
+	// value.
+	y := make([]float64, 30)
+	a.MulVec(x, y)
+	got := Norm2(Sub(b, y)) / Norm2(b)
+	if math.Abs(got-stats.RelResidual) > 1e-12 {
+		t.Errorf("reported residual %v, recomputed %v", stats.RelResidual, got)
+	}
+}
+
+// Exhausting the budget must report ErrNoConvergence with a meaningful
+// residual in the stats rather than a breakdown.
+func TestCGBudgetExhaustion(t *testing.T) {
+	r := NewRNG(71)
+	a := buildSPD(r, 200)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	x := make([]float64, 200)
+	stats, err := SolveCG(a, b, x, nil, CGOptions{Tol: 1e-14, MaxIter: 2})
+	if err != ErrNoConvergence {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if stats.Converged || stats.Breakdown != "" || stats.RelResidual <= 0 {
+		t.Errorf("stats = %+v, want unconverged with positive residual", stats)
+	}
+}

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -300,9 +301,12 @@ func TestCGSolvesSPD(t *testing.T) {
 			b[i] = r.Norm()
 		}
 		x := make([]float64, n)
-		_, err := SolveCG(a, b, x, nil, CGOptions{Tol: 1e-12})
+		stats, err := SolveCG(a, b, x, nil, CGOptions{Tol: 1e-12})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !stats.Converged || stats.RelResidual > 1e-12 {
+			t.Errorf("trial %d: stats %+v, want converged under tolerance", trial, stats)
 		}
 		y := make([]float64, n)
 		a.MulVec(x, y)
@@ -319,9 +323,9 @@ func TestCGZeroRHS(t *testing.T) {
 	for i := range x {
 		x[i] = 1 // nonzero initial guess must be reset
 	}
-	iters, err := SolveCG(a, make([]float64, 10), x, nil, CGOptions{})
-	if err != nil || iters != 0 {
-		t.Fatalf("zero rhs: iters=%d err=%v", iters, err)
+	stats, err := SolveCG(a, make([]float64, 10), x, nil, CGOptions{})
+	if err != nil || stats.Iterations != 0 || !stats.Converged {
+		t.Fatalf("zero rhs: stats=%+v err=%v", stats, err)
 	}
 	for i, v := range x {
 		if v != 0 {
@@ -338,18 +342,18 @@ func TestCGWarmStart(t *testing.T) {
 		b[i] = r.Norm()
 	}
 	cold := make([]float64, 200)
-	coldIters, err := SolveCG(a, b, cold, nil, CGOptions{Tol: 1e-10})
+	coldStats, err := SolveCG(a, b, cold, nil, CGOptions{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Warm start from the solution: should converge immediately.
 	warm := Copy(cold)
-	warmIters, err := SolveCG(a, b, warm, nil, CGOptions{Tol: 1e-8})
+	warmStats, err := SolveCG(a, b, warm, nil, CGOptions{Tol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if warmIters >= coldIters {
-		t.Errorf("warm start took %d iters, cold %d", warmIters, coldIters)
+	if warmStats.Iterations >= coldStats.Iterations {
+		t.Errorf("warm start took %d iters, cold %d", warmStats.Iterations, coldStats.Iterations)
 	}
 }
 
@@ -435,9 +439,19 @@ func TestCGBreaksDownOnIndefinite(t *testing.T) {
 	// A matrix with a negative eigenvalue must trigger the SPD guard.
 	m := NewCSR(2, []Coord{{0, 0, 1}, {1, 1, -1}})
 	x := make([]float64, 2)
-	_, err := SolveCG(m, []float64{1, 1}, x, nil, CGOptions{MaxIter: 10})
+	stats, err := SolveCG(m, []float64{1, 1}, x, nil, CGOptions{MaxIter: 10})
 	if err == nil {
-		t.Error("expected breakdown error for indefinite matrix")
+		t.Fatal("expected breakdown error for indefinite matrix")
+	}
+	if !errors.Is(err, ErrBreakdown) {
+		t.Errorf("err = %v, want ErrBreakdown identity", err)
+	}
+	var be *BreakdownError
+	if !errors.As(err, &be) || be.PAP > 0 {
+		t.Errorf("breakdown detail = %+v", be)
+	}
+	if stats.Breakdown == "" || stats.Converged {
+		t.Errorf("stats = %+v, want breakdown reason recorded", stats)
 	}
 }
 

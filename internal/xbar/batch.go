@@ -3,20 +3,174 @@ package xbar
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"geniex/internal/linalg"
 )
 
+// ItemStatus classifies the outcome of one batch item.
+type ItemStatus uint8
+
+const (
+	// ItemOK means the item solved cleanly on the first attempt.
+	ItemOK ItemStatus = iota
+	// ItemRecovered means the first attempt succeeded but needed the
+	// recovery ladder (a damped/source-step rung or an LU fallback).
+	ItemRecovered
+	// ItemRetried means the first attempt failed and the retry under
+	// the recovery ladder succeeded.
+	ItemRetried
+	// ItemFailed means the item failed even after the retry; its output
+	// row is zero and its error is recorded.
+	ItemFailed
+)
+
+// String implements fmt.Stringer.
+func (s ItemStatus) String() string {
+	switch s {
+	case ItemOK:
+		return "ok"
+	case ItemRecovered:
+		return "recovered"
+	case ItemRetried:
+		return "retried"
+	case ItemFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("ItemStatus(%d)", int(s))
+}
+
+// ItemOutcome is the per-item record in a BatchReport.
+type ItemOutcome struct {
+	Status  ItemStatus
+	Err     error // non-nil only when Status == ItemFailed
+	Retries int
+	// Recovery names the ladder rung that produced the accepted
+	// solution ("" for a plain Newton solve).
+	Recovery  string
+	Converged bool
+	Residual  float64
+	NewtonIters, CGIters, LUFallbacks, CGBreakdowns, DampedSteps int
+}
+
+// BatchReport aggregates per-item outcomes and solver-health counters
+// for one BatchSolve call. Callers decide whether to continue with a
+// degraded-item mask or fail the whole batch.
+type BatchReport struct {
+	// Outcomes has one entry per batch item, in item order.
+	Outcomes []ItemOutcome
+	// Solved, Recovered, Retried, Failed count items by final status.
+	Solved, Recovered, Retried, Failed int
+	// Unconverged counts items accepted with Converged=false (possible
+	// only under PolicyBestEffort).
+	Unconverged int
+	// NewtonIters, CGIters, LUFallbacks, CGBreakdowns, DampedSteps
+	// aggregate solver work across all items, retries included.
+	NewtonIters, CGIters, LUFallbacks, CGBreakdowns, DampedSteps int
+}
+
+// AllOK reports whether every item produced a converged solution.
+func (r *BatchReport) AllOK() bool { return r.Failed == 0 && r.Unconverged == 0 }
+
+// FailedItems returns the indices of failed items, in order.
+func (r *BatchReport) FailedItems() []int {
+	var out []int
+	for i, o := range r.Outcomes {
+		if o.Status == ItemFailed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FailedMask returns a per-item mask, true where the item failed.
+func (r *BatchReport) FailedMask() []bool {
+	mask := make([]bool, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		mask[i] = o.Status == ItemFailed
+	}
+	return mask
+}
+
+// FirstError returns the first failed item's error, nil when none.
+func (r *BatchReport) FirstError() error {
+	for i, o := range r.Outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("xbar: batch item %d: %w", i, o.Err)
+		}
+	}
+	return nil
+}
+
+// String summarizes the report in one line.
+func (r *BatchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch %d items: %d ok, %d recovered, %d retried, %d failed",
+		len(r.Outcomes), r.Solved, r.Recovered, r.Retried, r.Failed)
+	if r.Unconverged > 0 {
+		fmt.Fprintf(&b, ", %d unconverged", r.Unconverged)
+	}
+	fmt.Fprintf(&b, " (newton=%d cg=%d lu-fallbacks=%d cg-breakdowns=%d damped=%d)",
+		r.NewtonIters, r.CGIters, r.LUFallbacks, r.CGBreakdowns, r.DampedSteps)
+	return b.String()
+}
+
+// record folds one item outcome into the aggregate counters (Outcomes
+// is filled separately, per item, to stay deterministic).
+func (r *BatchReport) tally(o ItemOutcome) {
+	switch o.Status {
+	case ItemOK:
+		r.Solved++
+	case ItemRecovered:
+		r.Recovered++
+	case ItemRetried:
+		r.Retried++
+	case ItemFailed:
+		r.Failed++
+	}
+	if o.Status != ItemFailed && !o.Converged {
+		r.Unconverged++
+	}
+	r.NewtonIters += o.NewtonIters
+	r.CGIters += o.CGIters
+	r.LUFallbacks += o.LUFallbacks
+	r.CGBreakdowns += o.CGBreakdowns
+	r.DampedSteps += o.DampedSteps
+}
+
 // BatchSolve runs the full non-linear circuit solver for a batch of
 // input vectors against a single programmed conductance matrix,
 // fanning out across CPUs. vs is batch×Rows; the result is batch×Cols
-// of non-ideal output currents.
+// of non-ideal output currents. Any failed item makes the whole call
+// fail; use BatchSolveReport for per-item outcomes.
 func BatchSolve(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, error) {
+	out, rep, err := BatchSolveReport(cfg, g, vs)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Failed > 0 {
+		return nil, rep.FirstError()
+	}
+	return out, nil
+}
+
+// BatchSolveReport is the resilient batch entry point: every item is
+// attempted, failed items are retried once under the recovery ladder,
+// and the report records per-item status so callers can continue with
+// a degraded-item mask instead of losing the whole batch. Failed
+// items' output rows are zero.
+//
+// The returned error covers setup problems only (bad shapes, an
+// unprogrammable conductance matrix); solver failures never abort the
+// batch. Results are deterministic: each item is solved from a cold
+// start, so the output is independent of worker count and scheduling.
+func BatchSolveReport(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, *BatchReport, error) {
 	if vs.Cols != cfg.Rows {
-		return nil, fmt.Errorf("xbar: BatchSolve inputs have %d columns for %d rows", vs.Cols, cfg.Rows)
+		return nil, nil, fmt.Errorf("xbar: BatchSolve inputs have %d columns for %d rows", vs.Cols, cfg.Rows)
 	}
 	out := linalg.NewDense(vs.Rows, cfg.Cols)
+	rep := &BatchReport{Outcomes: make([]ItemOutcome, vs.Rows)}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > vs.Rows {
 		workers = vs.Rows
@@ -24,11 +178,13 @@ func BatchSolve(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, e
 	if workers < 1 {
 		workers = 1
 	}
+	faults := cfg.faults
+	workerCfg := cfg.WithFaults(nil) // plans are scoped per item below
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		firstErr error
+		setupErr error
 	)
 	next := make(chan int, vs.Rows)
 	for b := 0; b < vs.Rows; b++ {
@@ -40,41 +196,79 @@ func BatchSolve(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			xb, err := New(cfg)
+			xb, err := New(workerCfg)
 			if err == nil {
 				err = xb.Program(g)
 			}
 			if err != nil {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				if setupErr == nil {
+					setupErr = err
 				}
 				mu.Unlock()
 				return
 			}
 			for b := range next {
 				mu.Lock()
-				done := firstErr != nil
+				dead := setupErr != nil
 				mu.Unlock()
-				if done {
+				if dead {
 					return
 				}
-				sol, err := xb.Solve(vs.Row(b))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("xbar: batch item %d: %w", b, err)
-					}
-					mu.Unlock()
-					return
+				if faults.covers(b) {
+					xb.setFaults(faults)
+				} else {
+					xb.setFaults(nil)
 				}
-				copy(out.Row(b), sol.Currents)
+				rep.Outcomes[b] = solveItem(xb, vs.Row(b), out.Row(b))
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if setupErr != nil {
+		return nil, nil, setupErr
 	}
-	return out, nil
+	for _, o := range rep.Outcomes {
+		rep.tally(o)
+	}
+	return out, rep, nil
+}
+
+// solveItem solves one batch item, retrying once under the recovery
+// ladder on failure, and writes the currents into dst (zeroed on
+// failure).
+func solveItem(xb *Crossbar, v, dst []float64) ItemOutcome {
+	sol, err := xb.Solve(v)
+	if err != nil {
+		// Retry once with the ladder forced on — rescues items that
+		// failed under PolicyFailFast or hit a transient solver corner.
+		retrySol, retryErr := xb.solve(v, PolicyRecover)
+		if retryErr != nil {
+			linalg.Fill(dst, 0)
+			return ItemOutcome{Status: ItemFailed, Err: retryErr, Retries: 1}
+		}
+		copy(dst, retrySol.Currents)
+		return outcomeFor(retrySol, ItemRetried, 1)
+	}
+	copy(dst, sol.Currents)
+	status := ItemOK
+	if sol.Recovery != "" || sol.LUFallbacks > 0 {
+		status = ItemRecovered
+	}
+	return outcomeFor(sol, status, 0)
+}
+
+func outcomeFor(sol *Solution, status ItemStatus, retries int) ItemOutcome {
+	return ItemOutcome{
+		Status:       status,
+		Retries:      retries,
+		Recovery:     sol.Recovery,
+		Converged:    sol.Converged,
+		Residual:     sol.Residual,
+		NewtonIters:  sol.NewtonIters,
+		CGIters:      sol.CGIters,
+		LUFallbacks:  sol.LUFallbacks,
+		CGBreakdowns: sol.CGBreakdowns,
+		DampedSteps:  sol.DampedSteps,
+	}
 }

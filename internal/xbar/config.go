@@ -21,9 +21,55 @@ package xbar
 
 import (
 	"fmt"
+	"strings"
 
 	"geniex/internal/device"
 )
+
+// SolverPolicy selects how strictly the circuit solver treats
+// non-convergence. The zero value is PolicyRecover, so existing
+// configurations get the recovery ladder without opting in.
+type SolverPolicy int
+
+const (
+	// PolicyRecover runs the recovery ladder (damped Newton → source
+	// stepping, with direct-LU rescue of broken CG solves) and returns
+	// ErrNewtonDiverged only if every rung fails.
+	PolicyRecover SolverPolicy = iota
+	// PolicyFailFast returns ErrNewtonDiverged (or the linear-solver
+	// error) at the first sign of trouble, with no recovery attempts.
+	PolicyFailFast
+	// PolicyBestEffort runs the full ladder and, if nothing converges,
+	// returns the lowest-residual solution with Converged=false instead
+	// of an error. Callers must check Solution.Converged.
+	PolicyBestEffort
+)
+
+// String implements fmt.Stringer.
+func (p SolverPolicy) String() string {
+	switch p {
+	case PolicyRecover:
+		return "recover"
+	case PolicyFailFast:
+		return "failfast"
+	case PolicyBestEffort:
+		return "besteffort"
+	}
+	return fmt.Sprintf("SolverPolicy(%d)", int(p))
+}
+
+// ParsePolicy converts a CLI-style name into a SolverPolicy.
+func ParsePolicy(s string) (SolverPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "recover":
+		return PolicyRecover, nil
+	case "failfast", "fail-fast":
+		return PolicyFailFast, nil
+	case "besteffort", "best-effort":
+		return PolicyBestEffort, nil
+	}
+	return 0, fmt.Errorf("xbar: unknown solver policy %q (want recover, failfast or besteffort)", s)
+}
 
 // Config describes a crossbar design point. The defaults follow the
 // paper's experimental methodology (Section 6).
@@ -59,6 +105,13 @@ type Config struct {
 	// tanh selector (HSPICE stand-in), false for linear resistors
 	// (the analytical baseline).
 	NonLinear bool
+
+	// Policy selects the solver's non-convergence behaviour; the zero
+	// value (PolicyRecover) runs the recovery ladder.
+	Policy SolverPolicy
+
+	// faults carries a test-only fault-injection plan; see WithFaults.
+	faults *FaultPlan
 }
 
 // DefaultConfig returns the paper's nominal 64×64 design point:
@@ -100,6 +153,8 @@ func (c Config) Validate() error {
 			c.SelectorGonFactor, c.SelectorVsat)
 	case c.RRAM.I0 <= 0 || c.RRAM.D0 <= 0 || c.RRAM.V0 <= 0:
 		return fmt.Errorf("xbar: RRAM parameters must be positive, got %+v", c.RRAM)
+	case c.Policy < PolicyRecover || c.Policy > PolicyBestEffort:
+		return fmt.Errorf("xbar: invalid solver policy %d", int(c.Policy))
 	}
 	return nil
 }

@@ -2,7 +2,6 @@ package xbar
 
 import (
 	"fmt"
-	"math"
 
 	"geniex/internal/device"
 	"geniex/internal/linalg"
@@ -24,10 +23,17 @@ type Crossbar struct {
 	volt    []float64 // node voltages; reused as Newton/warm start
 	rhs     []float64
 	delta   []float64
+	prev    []float64 // iterate before the last Newton update
+	step    []float64 // last full Newton step (for damped backtracking)
+	res     []float64 // KCL residual scratch
+	best    []float64 // lowest-residual iterate (best-effort reporting)
 
 	// newton iteration controls
 	maxNewton int
 	tolV      float64
+
+	// faults is the active test-only fault-injection plan (usually nil).
+	faults *FaultPlan
 }
 
 // Node numbering: for cell (i, j) in a Rows×Cols array,
@@ -56,14 +62,19 @@ func New(cfg Config) (*Crossbar, error) {
 	x := &Crossbar{
 		cfg:       cfg,
 		sel:       newSelector(cfg),
-		maxNewton: 60,
+		maxNewton: defaultMaxNewton,
 		tolV:      1e-10,
 	}
+	x.setFaults(cfg.faults)
 	n := x.numNodes()
 	x.ws = linalg.NewCGWorkspace(n)
 	x.volt = make([]float64, n)
 	x.rhs = make([]float64, n)
 	x.delta = make([]float64, n)
+	x.prev = make([]float64, n)
+	x.step = make([]float64, n)
+	x.res = make([]float64, n)
+	x.best = make([]float64, n)
 
 	g := linalg.NewDense(cfg.Rows, cfg.Cols)
 	linalg.Fill(g.Data, cfg.Goff())
@@ -198,85 +209,6 @@ func (x *Crossbar) stampElement(e device.Element, an, bn int, volt []float64) {
 	)
 	x.rhs[an] -= ieq
 	x.rhs[bn] += ieq
-}
-
-// Solution is the result of one circuit solve.
-type Solution struct {
-	// Currents are the sensed bit-line output currents (amperes),
-	// positive flowing into the virtual ground; length Cols.
-	Currents []float64
-	// Power is the total power delivered by the word-line drivers
-	// (watts) — by conservation, also the total dissipated in the
-	// array, since the bit lines terminate at ground.
-	Power float64
-	// NewtonIters is the number of Newton iterations used.
-	NewtonIters int
-	// CGIters is the total number of inner CG iterations.
-	CGIters int
-}
-
-// Solve computes the non-ideal output currents for the given word-line
-// drive voltages (length Rows, volts). Voltages may be any value in
-// [0, Vsupply]; values outside are an error.
-func (x *Crossbar) Solve(v []float64) (*Solution, error) {
-	cfg := x.cfg
-	if len(v) != cfg.Rows {
-		return nil, fmt.Errorf("xbar: Solve with %d inputs on %d rows", len(v), cfg.Rows)
-	}
-	for i, vi := range v {
-		if vi < -1e-12 || vi > cfg.Vsupply*(1+1e-9) {
-			return nil, fmt.Errorf("xbar: input %d voltage %g outside [0, %g]", i, vi, cfg.Vsupply)
-		}
-	}
-	gsrc := 1 / cfg.Rsource
-
-	sol := &Solution{}
-	// Start each solve from the flat zero state: warm-starting from an
-	// unrelated input can put the Newton iteration in a bad basin and
-	// costs reproducibility.
-	linalg.Fill(x.volt, 0)
-	for iter := 0; iter < x.maxNewton; iter++ {
-		x.buildCoords(x.volt)
-		// Source injections.
-		for i := 0; i < cfg.Rows; i++ {
-			x.rhs[x.rNode(i, 0)] += gsrc * v[i]
-		}
-		x.pattern.Update(x.coords)
-		// Solve J·vNew = rhs. Use the current voltages as the CG
-		// initial guess; successive Newton systems are close.
-		copy(x.delta, x.volt)
-		cgIters, err := linalg.SolveCG(x.pattern.Matrix(), x.rhs, x.delta, x.ws, linalg.CGOptions{Tol: 1e-12})
-		if err != nil {
-			return nil, fmt.Errorf("xbar: Newton iteration %d: %w", iter, err)
-		}
-		sol.CGIters += cgIters
-		sol.NewtonIters = iter + 1
-
-		var maxStep float64
-		for n := range x.volt {
-			if d := math.Abs(x.delta[n] - x.volt[n]); d > maxStep {
-				maxStep = d
-			}
-		}
-		copy(x.volt, x.delta)
-		if maxStep < x.tolV {
-			break
-		}
-		if !cfg.NonLinear && iter == 0 {
-			// Linear network: the first solve is exact.
-			break
-		}
-	}
-
-	gsnk := 1 / cfg.Rsink
-	sol.Currents = make([]float64, cfg.Cols)
-	for j := 0; j < cfg.Cols; j++ {
-		sol.Currents[j] = gsnk * x.volt[x.cNode(cfg.Rows-1, j)]
-	}
-	for i := 0; i < cfg.Rows; i++ {
-		sol.Power += v[i] * (v[i] - x.volt[x.rNode(i, 0)]) * gsrc
-	}
-	return sol, nil
 }
 
 // NodeVoltage reports the solved voltage of an internal node; kind is

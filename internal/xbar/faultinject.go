@@ -1,0 +1,73 @@
+package xbar
+
+// Fault injection: deterministic hooks that force the circuit solver
+// into its failure paths so tests can prove every rung of the recovery
+// ladder is exercised. The hooks live behind Config.WithFaults and are
+// intended for tests only — production code never sets a plan, and a
+// nil plan costs a single pointer check per solve.
+
+// FaultPlan describes which failures to force. The zero value injects
+// nothing.
+type FaultPlan struct {
+	// FailAttempts forces the first N ladder attempts (0 = plain
+	// Newton, 1 = damped Newton, 2 = source stepping) to report
+	// divergence even if they actually converged. FailAttempts=1
+	// proves the damped rung rescues the solve, 2 proves source
+	// stepping does, 3 makes the whole ladder fail.
+	FailAttempts int
+	// CGBreakdownAt forces the inner linear solve of the given
+	// (1-based) Newton update to report a CG breakdown, exercising the
+	// direct-LU fallback. It applies to every ladder attempt of every
+	// solve the plan covers.
+	CGBreakdownAt int
+	// NaNConductance poisons one assembled Jacobian stamp with NaN,
+	// simulating a corrupted conductance. No rung can rescue this; the
+	// solver must detect it and fail loudly instead of returning NaN
+	// currents.
+	NaNConductance bool
+	// MaxNewton overrides the Newton iteration budget when positive,
+	// letting tests force genuine iteration-exhaustion stalls cheaply.
+	MaxNewton int
+	// Items restricts the plan to these batch item indices during
+	// BatchSolve; nil applies it to every item (and to direct Solve
+	// calls).
+	Items []int
+}
+
+// covers reports whether the plan applies to batch item b.
+func (p *FaultPlan) covers(b int) bool {
+	if p == nil {
+		return false
+	}
+	if p.Items == nil {
+		return true
+	}
+	for _, i := range p.Items {
+		if i == b {
+			return true
+		}
+	}
+	return false
+}
+
+// WithFaults returns a copy of the configuration carrying a test-only
+// fault-injection plan. Pass nil to clear.
+func (c Config) WithFaults(p *FaultPlan) Config {
+	c.faults = p
+	return c
+}
+
+// Faults exposes the configured plan (nil when none); used by
+// BatchSolve to scope the plan per item.
+func (c Config) Faults() *FaultPlan { return c.faults }
+
+// setFaults swaps the active plan on an existing crossbar, adjusting
+// the Newton budget override. BatchSolve uses this to arm the plan only
+// for the batch items it covers.
+func (x *Crossbar) setFaults(p *FaultPlan) {
+	x.faults = p
+	x.maxNewton = defaultMaxNewton
+	if p != nil && p.MaxNewton > 0 {
+		x.maxNewton = p.MaxNewton
+	}
+}

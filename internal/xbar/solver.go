@@ -1,0 +1,374 @@
+package xbar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"geniex/internal/linalg"
+)
+
+const (
+	// defaultMaxNewton is the Newton iteration budget per ladder
+	// attempt.
+	defaultMaxNewton = 60
+	// kclTol is the relative KCL residual below which an iterate is
+	// accepted as converged regardless of step size.
+	kclTol = 1e-9
+	// kclOK is the looser residual bound a step-converged solution must
+	// still satisfy to be reported Converged — it is what turns a
+	// silent stall (tiny steps, large nodal current imbalance) into a
+	// detected failure.
+	kclOK = 1e-6
+	// sourceSteps is the number of continuation stages in the
+	// source-stepping recovery rung.
+	sourceSteps = 8
+	// minDamping bounds how far the damped rung may shorten a Newton
+	// step before accepting it anyway.
+	minDamping = 1.0 / 64
+)
+
+// ErrNewtonDiverged is the sentinel matched by errors.Is when the
+// circuit solver cannot converge. The concrete error is a
+// *NewtonDivergedError carrying diagnostics. It also matches
+// linalg.ErrNoConvergence so callers at the funcsim/experiments layer
+// can test for non-convergence without importing solver internals.
+var ErrNewtonDiverged = errors.New("xbar: Newton solver did not converge")
+
+// NewtonDivergedError reports a failed circuit solve with the
+// diagnostics needed to understand and reproduce it.
+type NewtonDivergedError struct {
+	// Iters is the total number of Newton updates spent across all
+	// recovery attempts.
+	Iters int
+	// MaxStep is the last Newton update's max |Δv| (volts).
+	MaxStep float64
+	// Residual is the final relative KCL residual.
+	Residual float64
+	// Attempts lists the ladder rungs tried, in order.
+	Attempts []string
+	// Cause is the underlying linear-solver failure, if one aborted the
+	// ladder (CG breakdown the direct fallback could not rescue, a
+	// singular Jacobian, ...).
+	Cause error
+}
+
+// Error implements error.
+func (e *NewtonDivergedError) Error() string {
+	msg := fmt.Sprintf("xbar: Newton solver did not converge after %d iterations (max step %.3g V, KCL residual %.3g; attempted %s)",
+		e.Iters, e.MaxStep, e.Residual, strings.Join(e.Attempts, ", "))
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying linear-solver failure.
+func (e *NewtonDivergedError) Unwrap() error { return e.Cause }
+
+// Is reports sentinel identity for both ErrNewtonDiverged and
+// linalg.ErrNoConvergence.
+func (e *NewtonDivergedError) Is(target error) bool {
+	return target == ErrNewtonDiverged || target == linalg.ErrNoConvergence
+}
+
+// Solution is the result of one circuit solve.
+type Solution struct {
+	// Currents are the sensed bit-line output currents (amperes),
+	// positive flowing into the virtual ground; length Cols.
+	Currents []float64
+	// Power is the total power delivered by the word-line drivers
+	// (watts) — by conservation, also the total dissipated in the
+	// array, since the bit lines terminate at ground.
+	Power float64
+	// NewtonIters is the number of Newton updates used, summed across
+	// recovery attempts.
+	NewtonIters int
+	// CGIters is the total number of inner CG iterations.
+	CGIters int
+
+	// Converged reports whether the solver met its tolerances. It is
+	// false only under PolicyBestEffort — the other policies return an
+	// error instead of an unconverged solution.
+	Converged bool
+	// Residual is the final relative KCL residual ‖J·v − rhs‖/‖rhs‖ —
+	// the physical nodal current imbalance of the reported solution.
+	Residual float64
+	// MaxStep is the last Newton update's max |Δv| (volts).
+	MaxStep float64
+	// Recovery names the ladder rung that produced the solution: ""
+	// (plain Newton), "damped", "source-step", or "best-effort" when
+	// nothing converged under PolicyBestEffort.
+	Recovery string
+	// DampedSteps counts backtracked Newton steps.
+	DampedSteps int
+	// LUFallbacks counts linear solves rescued by the direct-LU path
+	// after CG failed.
+	LUFallbacks int
+	// CGBreakdowns counts CG SPD-guard trips.
+	CGBreakdowns int
+}
+
+// Solve computes the non-ideal output currents for the given word-line
+// drive voltages (length Rows, volts). Voltages may be any value in
+// [0, Vsupply]; values outside are an error.
+//
+// Non-convergence handling follows the configured SolverPolicy: under
+// PolicyFailFast the first failed attempt returns an error matching
+// ErrNewtonDiverged; under PolicyRecover (the default) a ladder of
+// damped Newton and source-stepping continuation is tried first; under
+// PolicyBestEffort a failed ladder returns the lowest-residual iterate
+// with Converged=false instead of an error.
+func (x *Crossbar) Solve(v []float64) (*Solution, error) {
+	return x.solve(v, x.cfg.Policy)
+}
+
+// solve runs the recovery ladder under an explicit policy (BatchSolve
+// retries override the configured one).
+func (x *Crossbar) solve(v []float64, policy SolverPolicy) (*Solution, error) {
+	cfg := x.cfg
+	if len(v) != cfg.Rows {
+		return nil, fmt.Errorf("xbar: Solve with %d inputs on %d rows", len(v), cfg.Rows)
+	}
+	for i, vi := range v {
+		if vi < -1e-12 || vi > cfg.Vsupply*(1+1e-9) {
+			return nil, fmt.Errorf("xbar: input %d voltage %g outside [0, %g]", i, vi, cfg.Vsupply)
+		}
+	}
+
+	sol := &Solution{}
+	var attempts []string
+	var cause error
+	bestResid := math.Inf(1)
+	haveBest := false
+
+	// record applies the fault-injection attempt gate and tracks the
+	// lowest-residual iterate for best-effort reporting.
+	record := func(ok bool, attempt int, name string) bool {
+		if ok && x.faults != nil && attempt < x.faults.FailAttempts {
+			ok = false // injected divergence: discard the result
+			sol.Converged = false
+		}
+		attempts = append(attempts, name)
+		if !ok && !math.IsNaN(sol.Residual) && sol.Residual < bestResid {
+			bestResid = sol.Residual
+			copy(x.best, x.volt)
+			haveBest = true
+		}
+		return ok
+	}
+
+	// Rung 0: plain Newton from the flat zero state. Warm-starting from
+	// an unrelated input can put the iteration in a bad basin and costs
+	// reproducibility.
+	linalg.Fill(x.volt, 0)
+	ok, err := x.newtonIterate(v, false, policy, sol)
+	if record(ok, 0, "newton") {
+		return x.finish(v, sol, ""), nil
+	}
+	cause = err
+	if policy == PolicyFailFast {
+		if err != nil {
+			return nil, err
+		}
+		return nil, x.diverged(sol, attempts, cause)
+	}
+
+	// Rung 1: damped Newton — same cold start, but steps that increase
+	// the KCL residual are backtracked along the Newton direction.
+	linalg.Fill(x.volt, 0)
+	ok, err = x.newtonIterate(v, true, policy, sol)
+	if err != nil && cause == nil {
+		cause = err
+	}
+	if record(ok, 1, "damped") {
+		return x.finish(v, sol, "damped"), nil
+	}
+
+	// Rung 2: source stepping — ramp the drive to its target in stages,
+	// warm-starting each stage from the previous one. Continuation
+	// keeps every stage inside Newton's convergence basin.
+	ok, err = x.sourceStep(v, policy, sol)
+	if err != nil && cause == nil {
+		cause = err
+	}
+	if record(ok, 2, "source-step") {
+		return x.finish(v, sol, "source-step"), nil
+	}
+
+	if policy == PolicyBestEffort && haveBest {
+		copy(x.volt, x.best)
+		sol.Converged = false
+		sol.Residual = bestResid
+		return x.finish(v, sol, "best-effort"), nil
+	}
+	return nil, x.diverged(sol, attempts, cause)
+}
+
+func (x *Crossbar) diverged(sol *Solution, attempts []string, cause error) error {
+	return &NewtonDivergedError{
+		Iters:    sol.NewtonIters,
+		MaxStep:  sol.MaxStep,
+		Residual: sol.Residual,
+		Attempts: attempts,
+		Cause:    cause,
+	}
+}
+
+// finish extracts currents and power from the solved node voltages.
+func (x *Crossbar) finish(v []float64, sol *Solution, recovery string) *Solution {
+	cfg := x.cfg
+	sol.Recovery = recovery
+	gsnk := 1 / cfg.Rsink
+	gsrc := 1 / cfg.Rsource
+	sol.Currents = make([]float64, cfg.Cols)
+	for j := 0; j < cfg.Cols; j++ {
+		sol.Currents[j] = gsnk * x.volt[x.cNode(cfg.Rows-1, j)]
+	}
+	sol.Power = 0
+	for i := 0; i < cfg.Rows; i++ {
+		sol.Power += v[i] * (v[i] - x.volt[x.rNode(i, 0)]) * gsrc
+	}
+	return sol
+}
+
+// assemble linearizes the network at the current x.volt and loads the
+// source injections, leaving the Jacobian in x.pattern and the RHS in
+// x.rhs.
+func (x *Crossbar) assemble(v []float64) {
+	x.buildCoords(x.volt)
+	gsrc := 1 / x.cfg.Rsource
+	for i := 0; i < x.cfg.Rows; i++ {
+		x.rhs[x.rNode(i, 0)] += gsrc * v[i]
+	}
+	if x.faults != nil && x.faults.NaNConductance && len(x.coords) > 0 {
+		x.coords[0].Val = math.NaN()
+	}
+	x.pattern.Update(x.coords)
+}
+
+// kclResidual measures the nodal current imbalance of the current
+// iterate against the freshly assembled system: ‖J·v − rhs‖ relative
+// to ‖rhs‖. With the Newton companion model this is exactly the KCL
+// violation of the non-linear network at x.volt.
+func (x *Crossbar) kclResidual() float64 {
+	x.pattern.Matrix().MulVec(x.volt, x.res)
+	for i := range x.res {
+		x.res[i] -= x.rhs[i]
+	}
+	rnorm := linalg.Norm2(x.res)
+	bnorm := linalg.Norm2(x.rhs)
+	if bnorm == 0 {
+		return rnorm
+	}
+	return rnorm / bnorm
+}
+
+// newtonIterate runs (optionally damped) Newton from the current
+// contents of x.volt — callers choose cold or warm starts — toward the
+// drive vector v. It reports convergence; a non-nil error means the
+// attempt aborted on a linear-solver failure that the LU fallback
+// could not rescue.
+func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, sol *Solution) (bool, error) {
+	prevResid := math.Inf(1)
+	lastStep := math.Inf(1)
+	scale := 1.0
+	update := 0
+	for iter := 0; iter < x.maxNewton; iter++ {
+		x.assemble(v)
+		resid := x.kclResidual()
+		if damped && resid > prevResid && scale > minDamping {
+			// The last step increased the KCL residual: retreat to a
+			// shorter step along the same Newton direction and
+			// re-linearize there.
+			scale *= 0.5
+			for n := range x.volt {
+				x.volt[n] = x.prev[n] + scale*x.step[n]
+			}
+			sol.DampedSteps++
+			continue
+		}
+		sol.Residual = resid
+		if math.IsInf(lastStep, 1) {
+			sol.MaxStep = 0 // converged before any update (e.g. zero drive)
+		} else {
+			sol.MaxStep = lastStep
+		}
+		if resid <= kclTol || (lastStep < x.tolV && resid <= kclOK) {
+			sol.Converged = true
+			return true, nil
+		}
+		if lastStep < x.tolV {
+			// Steps vanished while KCL is still violated: a stall the
+			// pre-diagnostics solver would have returned silently.
+			return false, nil
+		}
+
+		// Solve J·vNew = rhs for the Newton update: CG with the current
+		// iterate as warm start, direct LU when CG cannot.
+		update++
+		copy(x.delta, x.volt)
+		var stats linalg.CGStats
+		var err error
+		if x.faults != nil && x.faults.CGBreakdownAt == update {
+			err = &linalg.BreakdownError{Iteration: 1, PAP: -1} // injected
+		} else {
+			stats, err = linalg.SolveCG(x.pattern.Matrix(), x.rhs, x.delta, x.ws, linalg.CGOptions{Tol: 1e-12})
+		}
+		sol.CGIters += stats.Iterations
+		sol.NewtonIters++
+		if err != nil {
+			if errors.Is(err, linalg.ErrBreakdown) {
+				sol.CGBreakdowns++
+			}
+			if policy == PolicyFailFast {
+				return false, fmt.Errorf("xbar: Newton update %d: %w", update, err)
+			}
+			direct, derr := linalg.SolveDirect(x.pattern.Matrix(), x.rhs)
+			if derr != nil {
+				return false, fmt.Errorf("xbar: Newton update %d: CG failed (%v); direct fallback: %w", update, err, derr)
+			}
+			copy(x.delta, direct)
+			sol.LUFallbacks++
+		}
+
+		copy(x.prev, x.volt)
+		var maxStep float64
+		for n := range x.volt {
+			d := x.delta[n] - x.volt[n]
+			x.step[n] = d
+			if d = math.Abs(d); d > maxStep {
+				maxStep = d
+			}
+		}
+		lastStep = maxStep
+		prevResid = resid
+		scale = 1
+		copy(x.volt, x.delta)
+	}
+	return false, nil
+}
+
+// sourceStep is the continuation rung: it ramps the drive voltages to
+// their targets in sourceSteps stages, solving each with damped Newton
+// warm-started from the previous stage's solution.
+func (x *Crossbar) sourceStep(v []float64, policy SolverPolicy, sol *Solution) (bool, error) {
+	scaled := make([]float64, len(v)) // rare recovery path; allocation is fine
+	linalg.Fill(x.volt, 0)
+	ok := false
+	for k := 1; k <= sourceSteps; k++ {
+		f := float64(k) / sourceSteps
+		for i := range v {
+			scaled[i] = f * v[i]
+		}
+		var err error
+		ok, err = x.newtonIterate(scaled, true, policy, sol)
+		if err != nil {
+			return false, err
+		}
+		// An intermediate stage that fails still leaves a usable warm
+		// start; only the final stage's convergence matters.
+	}
+	return ok, nil
+}
