@@ -4,11 +4,13 @@
 
 GO ?= go
 
-# Packages whose batch/solver code fans out across goroutines; the
-# race detector must stay clean on these.
-RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/linalg
+# Packages whose MVM/batch/solver code fans out across goroutines; the
+# race detector must stay clean on these. -short skips the
+# circuit-in-the-loop pipeline tests that are too slow under race
+# instrumentation.
+RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race bench
 
 check: vet build test race
 
@@ -22,4 +24,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short $(RACE_PKGS)
+
+# MVM pipeline benchmarks: serial vs parallel wall-clock and the
+# allocs/op contract (ideal steady state must report 0 allocs/op).
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem .

@@ -164,6 +164,110 @@ func BenchmarkFuncsimConvLayer(b *testing.B) {
 	}
 }
 
+// --- MVM pipeline benchmarks (run with -benchmem) ---
+
+// mvmBench lowers a multi-tile weight matrix under the given model and
+// returns the lowered matrix plus an input batch and output buffer.
+func mvmBench(b *testing.B, cfg funcsim.Config, model funcsim.Model, in, out, batch int) (*funcsim.Matrix, *linalg.Dense, *linalg.Dense) {
+	b.Helper()
+	eng, err := funcsim.NewEngine(cfg, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := linalg.NewRNG(3)
+	w := linalg.NewDense(in, out)
+	for i := range w.Data {
+		w.Data[i] = 2*rng.Float64() - 1
+	}
+	mat, err := eng.Lower(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := linalg.NewDense(batch, in)
+	for i := range x.Data {
+		x.Data[i] = 2*rng.Float64() - 1
+	}
+	return mat, x, linalg.NewDense(batch, out)
+}
+
+func runMVM(b *testing.B, mat *funcsim.Matrix, dst, x *linalg.Dense) {
+	b.Helper()
+	if err := mat.MVMInto(dst, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mat.MVMInto(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMVMIdeal measures the ideal-model tile pipeline; the
+// steady state must report 0 allocs/op (the run pool owns all
+// scratch). Serial vs parallel shows the worker-pool speedup on
+// multi-core hosts — results are bit-identical either way.
+func BenchmarkMVMIdeal(b *testing.B) {
+	const in, out, batch = 96, 64, 16 // 6×4 tile grid at 16×16
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := funcsim.DefaultConfig()
+			cfg.Xbar.Rows, cfg.Xbar.Cols = 16, 16
+			cfg.Workers = bc.workers
+			mat, x, dst := mvmBench(b, cfg, funcsim.Ideal{}, in, out, batch)
+			runMVM(b, mat, dst, x)
+		})
+	}
+}
+
+// BenchmarkMVMGENIEx measures the surrogate-model pipeline with the
+// shared per-block voltage context and pooled prediction workspaces.
+func BenchmarkMVMGENIEx(b *testing.B) {
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = 16, 16
+	model, err := core.NewModel(cfg.Xbar, 128, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg.Workers = bc.workers
+			mat, x, dst := mvmBench(b, cfg, funcsim.GENIEx{Model: model}, 48, 32, 8)
+			runMVM(b, mat, dst, x)
+		})
+	}
+}
+
+// BenchmarkMVMCircuit measures the circuit-model pipeline. The serial
+// baseline pins both the tile tasks (Workers=1) and the batch solver
+// (BatchWorkers=1) to one goroutine; the parallel case fans tile tasks
+// across the worker pool with the persistent per-tile crossbar pools
+// carrying the programmed instances. On a multi-core host the parallel
+// case is expected to be ≥2× faster wall-clock; outputs are
+// bit-identical in both.
+func BenchmarkMVMCircuit(b *testing.B) {
+	const in, out, batch = 16, 16, 4 // 2×2 tile grid at 8×8
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := funcsim.DefaultConfig()
+			cfg.Xbar.Rows, cfg.Xbar.Cols = 8, 8
+			cfg.Workers = bc.workers
+			cfg.Xbar.BatchWorkers = 1 // parallelism lives in the tile tasks
+			mat, x, dst := mvmBench(b, cfg, funcsim.Circuit{Cfg: cfg.Xbar}, in, out, batch)
+			runMVM(b, mat, dst, x)
+		})
+	}
+}
+
 // BenchmarkDatasetGeneration measures labelled (V, G, fR) sample
 // production (circuit solves dominate).
 func BenchmarkDatasetGeneration(b *testing.B) {

@@ -7,4 +7,4 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/xbar ./internal/funcsim ./internal/linalg
+go test -race -short ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg

@@ -50,6 +50,7 @@ func run() error {
 		policy    = flag.String("solver-policy", "recover", "circuit-solver non-convergence handling: recover, failfast or besteffort")
 		degraded  = flag.Bool("degraded", false, "circuit mode: continue with zeroed currents for batch items that fail even after recovery")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "concurrent tile tasks per MVM: 0 = all cores, 1 = serial (results are bit-identical at any setting)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,12 @@ func run() error {
 	simCfg.Act = quant.FxP{Bits: *bits, Frac: *bits - 3}
 	simCfg.StreamBits, simCfg.SliceBits = *streams, *slices
 	simCfg.ADCBits = *adc
+	simCfg.Workers = *workers
+	if *mode == "circuit" && *workers != 1 {
+		// Tile tasks already saturate the cores; keep each circuit batch
+		// solve on its worker instead of fanning out a second time.
+		simCfg.Xbar.BatchWorkers = 1
+	}
 	pol, err := xbar.ParsePolicy(*policy)
 	if err != nil {
 		return err

@@ -6,7 +6,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"sync"
 
 	"geniex/internal/linalg"
 	"geniex/internal/nn"
@@ -32,15 +31,6 @@ type Model struct {
 	L2 *nn.Linear // Hidden × Cols
 
 	FRMin, FRMax float64
-
-	// Single-entry memo of the voltage-dependent first-layer product
-	// Vn·W1v. The functional simulator evaluates the same stream batch
-	// against every weight slice of a tile (different GContexts, same
-	// voltages), so this cache removes the dominant matmul from all
-	// but the first slice. Keyed on the batch's identity.
-	baseMu  sync.Mutex
-	baseKey *linalg.Dense
-	baseVal *linalg.Dense
 }
 
 // NewModel creates an untrained GENIEx model for a crossbar design
@@ -149,12 +139,6 @@ func (m *Model) Train(ds *Dataset, opt TrainOptions) error {
 		labels.Data[i] = (f - m.FRMin) * inv
 	}
 
-	// Weights are about to change: drop the memoized first-layer
-	// product.
-	m.baseMu.Lock()
-	m.baseKey, m.baseVal = nil, nil
-	m.baseMu.Unlock()
-
 	net := m.net()
 	params := net.Params()
 	optim := nn.NewAdam(params, opt.LR)
@@ -235,55 +219,102 @@ func (m *Model) NewGContext(g *linalg.Dense) *GContext {
 	return &GContext{bias: bias}
 }
 
-// hiddenBase returns Vn·W1v for a voltage batch, memoizing the last
-// batch by identity. Callers must not mutate v after passing it here
-// within the same evaluation sequence.
-func (m *Model) hiddenBase(v *linalg.Dense) *linalg.Dense {
-	m.baseMu.Lock()
-	defer m.baseMu.Unlock()
-	if m.baseKey == v {
-		return m.baseVal
+// VContext caches the voltage-dependent first-layer product Vn·W1v of
+// one batch of drive voltages. The hidden pre-activation is
+// h = Vn·W1v + Gn·W1g + b1: for a fixed voltage batch the first term
+// is constant across every conductance context, so the functional
+// simulator computes it once per input block and reuses it across all
+// the tile slices (different GContexts) that see the same voltages.
+// A VContext is immutable after creation and safe to share across
+// goroutines — it replaces an identity-keyed memo inside Model whose
+// shared mutable state both serialized and thrashed under concurrent
+// tile evaluation.
+type VContext struct {
+	rows int
+	base *linalg.Dense // batch×Hidden: Vn·W1v
+}
+
+// NewVContext precomputes the hidden-layer contribution of a voltage
+// batch (batch×Rows, physical units).
+func (m *Model) NewVContext(v *linalg.Dense) *VContext {
+	if v.Cols != m.Cfg.Rows {
+		panic(fmt.Sprintf("core: VContext with %d inputs for %d rows", v.Cols, m.Cfg.Rows))
 	}
 	n := v.Rows
 	vn := linalg.NewDense(n, m.Cfg.Rows)
 	for s := 0; s < n; s++ {
 		m.normalizeV(vn.Row(s), v.Row(s))
 	}
+	// W1 rows [0, Rows) hold the V block.
 	w1v := linalg.NewDenseFrom(m.Cfg.Rows, m.Hidden, m.L1.Weight.W.Data[:m.Cfg.Rows*m.Hidden])
-	m.baseKey = v
-	m.baseVal = linalg.MatMul(vn, w1v)
-	return m.baseVal
+	base := linalg.NewDense(n, m.Hidden)
+	linalg.MatMulSerialInto(base, vn, w1v)
+	return &VContext{rows: n, base: base}
+}
+
+// PredictWorkspace holds the scratch buffers of one in-flight
+// prediction. It is NOT safe for concurrent use — callers give each
+// goroutine its own workspace (zero value ready) and PredictVGInto
+// then performs no allocations in steady state.
+type PredictWorkspace struct {
+	hidden *linalg.Dense
+}
+
+func (ws *PredictWorkspace) hiddenFor(rows, cols int) *linalg.Dense {
+	if ws.hidden == nil || cap(ws.hidden.Data) < rows*cols {
+		ws.hidden = linalg.NewDense(rows, cols)
+		return ws.hidden
+	}
+	ws.hidden.Rows, ws.hidden.Cols = rows, cols
+	ws.hidden.Data = ws.hidden.Data[:rows*cols]
+	return ws.hidden
+}
+
+// PredictVGInto evaluates fR for a cached voltage batch against a
+// cached conductance context, writing the physical (denormalized)
+// ratios into dst (batch×Cols). It touches no shared mutable state:
+// concurrent calls on one Model are safe as long as each passes its
+// own workspace and dst.
+func (m *Model) PredictVGInto(dst *linalg.Dense, vc *VContext, gc *GContext, ws *PredictWorkspace) {
+	n := vc.rows
+	if dst.Rows != n || dst.Cols != m.Cfg.Cols {
+		panic(fmt.Sprintf("core: predict into %dx%d, want %dx%d", dst.Rows, dst.Cols, n, m.Cfg.Cols))
+	}
+	// Hidden = ReLU(base + gc.bias).
+	hidden := ws.hiddenFor(n, m.Hidden)
+	for s := 0; s < n; s++ {
+		brow := vc.base.Row(s)
+		row := hidden.Row(s)
+		for j := range row {
+			h := brow[j] + gc.bias[j]
+			if h > 0 {
+				row[j] = h
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	linalg.MatMulSerialInto(dst, hidden, m.L2.Weight.W)
+	span := m.FRMax - m.FRMin
+	for s := 0; s < n; s++ {
+		row := dst.Row(s)
+		for j := range row {
+			row[j] = m.FRMin + (row[j]+m.L2.Bias.W.Data[j])*span
+		}
+	}
 }
 
 // PredictWithContext evaluates fR for a batch of voltage vectors
 // (batch × Rows, physical units) against a cached conductance context.
 // The returned matrix is batch × Cols of physical (denormalized) fR.
+// It is safe for concurrent use; callers evaluating the same voltage
+// batch against many conductance contexts should build one VContext
+// and call PredictVGInto instead, which also skips the per-call
+// allocations.
 func (m *Model) PredictWithContext(v *linalg.Dense, ctx *GContext) *linalg.Dense {
-	if v.Cols != m.Cfg.Rows {
-		panic(fmt.Sprintf("core: predict with %d inputs for %d rows", v.Cols, m.Cfg.Rows))
-	}
-	n := v.Rows
-	base := m.hiddenBase(v)
-	// Hidden = ReLU(base + ctx.bias).
-	hidden := linalg.NewDense(n, m.Hidden)
-	for s := 0; s < n; s++ {
-		brow := base.Row(s)
-		row := hidden.Row(s)
-		for j := range row {
-			h := brow[j] + ctx.bias[j]
-			if h > 0 {
-				row[j] = h
-			}
-		}
-	}
-	out := linalg.MatMul(hidden, m.L2.Weight.W)
-	span := m.FRMax - m.FRMin
-	for s := 0; s < n; s++ {
-		row := out.Row(s)
-		for j := range row {
-			row[j] = m.FRMin + (row[j]+m.L2.Bias.W.Data[j])*span
-		}
-	}
+	vc := m.NewVContext(v)
+	out := linalg.NewDense(v.Rows, m.Cfg.Cols)
+	m.PredictVGInto(out, vc, ctx, &PredictWorkspace{})
 	return out
 }
 

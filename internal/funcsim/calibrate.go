@@ -3,6 +3,7 @@ package funcsim
 import (
 	"fmt"
 
+	"geniex/internal/core"
 	"geniex/internal/linalg"
 	"geniex/internal/xbar"
 )
@@ -34,6 +35,8 @@ type Calibrated struct {
 
 // Name implements Model.
 func (c Calibrated) Name() string { return c.Inner.Name() + "+cal" }
+
+func (c Calibrated) surrogate() *core.Model { return surrogateOf(c.Inner) }
 
 // NewTile implements Model: it builds the inner tile, fits the
 // per-column gains, and returns the corrected tile.
@@ -95,11 +98,31 @@ func (t *calibratedTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.apply(curr)
+	return curr, nil
+}
+
+// CurrentsInto implements the allocation-free fast path when the inner
+// tile supports it.
+func (t *calibratedTile) CurrentsInto(dst, v *linalg.Dense) error {
+	return t.currentsVC(dst, v, nil)
+}
+
+func (t *calibratedTile) currentsVC(dst, v *linalg.Dense, vc *core.VContext) error {
+	if err := currentsInto(t.inner, dst, v, vc); err != nil {
+		return err
+	}
+	t.apply(dst)
+	return nil
+}
+
+// apply multiplies the fitted per-column gains in place; gains are
+// read-only after calibration, so this is safe from concurrent tasks.
+func (t *calibratedTile) apply(curr *linalg.Dense) {
 	for b := 0; b < curr.Rows; b++ {
 		row := curr.Row(b)
 		for j := range row {
 			row[j] *= t.gain[j]
 		}
 	}
-	return curr, nil
 }

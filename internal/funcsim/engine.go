@@ -3,7 +3,10 @@ package funcsim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
+	"geniex/internal/core"
 	"geniex/internal/linalg"
 	"geniex/internal/quant"
 	"geniex/internal/xbar"
@@ -25,6 +28,14 @@ type Config struct {
 	ADCBits int
 	// Acc is the saturating output accumulator.
 	Acc quant.Acc
+	// Workers bounds how many (tileRow, tileCol) tile tasks of one MVM
+	// execute concurrently. 0 (the default) uses the shared worker pool
+	// at full width (GOMAXPROCS); 1 runs the whole MVM serially on the
+	// calling goroutine with no goroutines at all; n ≥ 2 keeps at most
+	// n tasks in flight. The merge into the saturating accumulator is
+	// always serial and in fixed tile order, so MVM results are
+	// bit-identical at every setting.
+	Workers int
 }
 
 // DefaultConfig returns the paper's nominal architecture: 16-bit
@@ -65,6 +76,9 @@ func (c Config) Validate() error {
 	if c.Acc.Bits < 2 || c.Acc.Bits > 62 || c.Acc.Frac < 0 || c.Acc.Frac >= c.Acc.Bits {
 		return fmt.Errorf("funcsim: accumulator %d.%d invalid", c.Acc.Bits, c.Acc.Frac)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("funcsim: Workers must be non-negative, got %d", c.Workers)
+	}
 	return nil
 }
 
@@ -93,6 +107,7 @@ func (c Config) sliceDigits() int { return quant.NumDigits(c.Weight.Bits-1, c.Sl
 type Engine struct {
 	cfg   Config
 	model Model
+	sur   *core.Model // GENIEx surrogate of the model chain, if any
 }
 
 // NewEngine creates an engine. The model's tile size must match
@@ -101,7 +116,7 @@ func NewEngine(cfg Config, model Model) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, model: model}, nil
+	return &Engine{cfg: cfg, model: model, sur: surrogateOf(model)}, nil
 }
 
 // Config returns the engine's architecture parameters.
@@ -119,7 +134,8 @@ type loweredTile struct {
 }
 
 // Matrix is a weight matrix lowered onto crossbar tiles, ready to
-// execute MVMs.
+// execute MVMs. A Matrix is safe for concurrent MVM calls; the
+// hardware-event counters are atomic (see Stats).
 type Matrix struct {
 	eng       *Engine
 	in, out   int
@@ -127,7 +143,16 @@ type Matrix struct {
 	tileCols  int
 	tiles     [][]loweredTile // [tileRow][tileCol]
 	crossbars int
-	stats     Stats
+
+	// Digital back-conversion constants, fixed per design point.
+	adc       quant.ADC
+	scale, kg float64
+
+	stats matrixStats
+
+	// runs is the freelist of pooled per-MVM scratch state; see mvmRun.
+	runMu sync.Mutex
+	runs  []*mvmRun
 }
 
 // Lower maps a real-valued in×out weight matrix onto crossbar tiles:
@@ -139,12 +164,22 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 	in, out := w.Rows, w.Cols
 	kw := cfg.sliceDigits()
 	wmax := float64(int64(1)<<cfg.SliceBits) - 1
+	amax := float64(int64(1)<<cfg.StreamBits) - 1
 
 	lm := &Matrix{
 		eng: e, in: in, out: out,
 		tileRows: (in + n - 1) / n,
 		tileCols: (out + mcols - 1) / mcols,
 	}
+	lm.adc = quant.ADC{
+		Bits:      cfg.ADCBits,
+		FullScale: float64(n) * cfg.Xbar.Vsupply * cfg.Xbar.Gon(),
+	}
+	// Digital back-conversion constants: the ideal column current is
+	//   I = (Vmax·ΔG)/(amax·wmax) · Σ dA·dW  +  Vmax·Goff/amax · Σ dA,
+	// so p = I·scale − kg·Σ dA recovers the integer digit dot product.
+	lm.scale = amax * wmax / (cfg.Xbar.Vsupply * (cfg.Xbar.Gon() - cfg.Xbar.Goff()))
+	lm.kg = cfg.Xbar.Goff() * wmax / (cfg.Xbar.Gon() - cfg.Xbar.Goff())
 	lm.tiles = make([][]loweredTile, lm.tileRows)
 	for tr := range lm.tiles {
 		lm.tiles[tr] = make([]loweredTile, lm.tileCols)
@@ -227,123 +262,379 @@ type inputBlock struct {
 	vb       *linalg.Dense // batch·ka × n stream voltages
 	digitSum []int64       // per (b, k): Σ_i digit
 	any      bool          // any non-zero digit at all
+	vctx     *core.VContext
+}
+
+// runBlock guards the lazily quantized input blocks of one tile row:
+// the first task of the row quantizes, later tasks of the same row
+// reuse the result.
+type runBlock struct {
+	mu     sync.Mutex
+	done   bool
+	blocks [2]inputBlock // positive / negative magnitude pass
+}
+
+// mvmTask is the unit of parallel work: all four differential passes
+// of one (tileRow, tileCol) block, accumulated into an exact int64
+// partial so the order tasks complete in cannot affect the result.
+type mvmTask struct {
+	tr, tc int
+	dot    []int64       // batch×tileCols signed shift-and-add partials
+	curr   *linalg.Dense // batch·ka × cols tile-current scratch
+	stats  Stats         // task-local counters, folded after the run
+}
+
+// mvmRun is the pooled per-MVM scratch state. Matrices keep finished
+// runs on a freelist so steady-state MVMs allocate nothing.
+type mvmRun struct {
+	m      *Matrix
+	x      *linalg.Dense
+	batch  int
+	accOut []int64
+	blocks []runBlock
+	tasks  []mvmTask
+	sem    chan struct{} // in-flight bound when Config.Workers ≥ 2
+
+	wg     sync.WaitGroup
+	failMu sync.Mutex
+	failed bool
+	err    error
+}
+
+// mvmPool is the package-wide persistent worker pool. Spawning
+// goroutines per MVM call would allocate closures and stacks on every
+// invocation; a fixed pool keeps the steady state allocation-free and
+// bounds total compute concurrency at GOMAXPROCS regardless of how
+// many matrices execute at once.
+var (
+	mvmPoolOnce sync.Once
+	mvmPoolCh   chan mvmTaskRef
+)
+
+type mvmTaskRef struct {
+	run *mvmRun
+	idx int
+}
+
+func mvmPool() chan<- mvmTaskRef {
+	mvmPoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		mvmPoolCh = make(chan mvmTaskRef, 8*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for ref := range mvmPoolCh {
+					ref.run.execTask(ref.idx)
+				}
+			}()
+		}
+	})
+	return mvmPoolCh
+}
+
+func (r *mvmRun) setErr(err error) {
+	r.failMu.Lock()
+	if !r.failed {
+		r.failed = true
+		r.err = err
+	}
+	r.failMu.Unlock()
+}
+
+func (r *mvmRun) hasFailed() bool {
+	r.failMu.Lock()
+	f := r.failed
+	r.failMu.Unlock()
+	return f
+}
+
+// execTask is the pool-side wrapper: it releases the in-flight slot,
+// converts panics into run errors (a dead pool worker would hang every
+// later MVM), and signals completion.
+func (r *mvmRun) execTask(idx int) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.setErr(fmt.Errorf("funcsim: MVM tile task (%d,%d) panicked: %v",
+				r.tasks[idx].tr, r.tasks[idx].tc, p))
+		}
+		if r.sem != nil {
+			<-r.sem
+		}
+		r.wg.Done()
+	}()
+	r.doTask(idx)
+}
+
+// doTask computes the exact int64 partial of one (tileRow, tileCol)
+// block: quantize the row's input block if nobody has yet, then run
+// the four differential passes.
+func (r *mvmRun) doTask(idx int) {
+	if r.hasFailed() {
+		return
+	}
+	t := &r.tasks[idx]
+	rb := &r.blocks[t.tr]
+	rb.mu.Lock()
+	if !rb.done {
+		r.m.quantizeBlockInto(rb, r.x, t.tr)
+		rb.done = true
+	}
+	rb.mu.Unlock()
+
+	for i := range t.dot {
+		t.dot[i] = 0
+	}
+	t.stats = Stats{}
+	lt := &r.m.tiles[t.tr][t.tc]
+	if err := r.pass(t, lt.pos, &rb.blocks[0], 1); err != nil {
+		r.setErr(err)
+		return
+	}
+	if err := r.pass(t, lt.neg, &rb.blocks[0], -1); err != nil {
+		r.setErr(err)
+		return
+	}
+	if err := r.pass(t, lt.pos, &rb.blocks[1], -1); err != nil {
+		r.setErr(err)
+		return
+	}
+	if err := r.pass(t, lt.neg, &rb.blocks[1], 1); err != nil {
+		r.setErr(err)
+		return
+	}
+}
+
+// pass runs one differential pass (one sign of inputs against one sign
+// of weights) of a tile task: evaluate every weight slice's crossbar,
+// ADC-convert, and shift-and-add into the task's exact partial.
+func (r *mvmRun) pass(t *mvmTask, tiles []Tile, blk *inputBlock, sign int64) error {
+	if tiles == nil || !blk.any {
+		t.stats.SkippedPasses++
+		return nil
+	}
+	m := r.m
+	cfg := m.eng.cfg
+	mcols := cfg.Xbar.Cols
+	ka := cfg.streamDigits()
+	for l, tile := range tiles {
+		if err := currentsInto(tile, t.curr, blk.vb, blk.vctx); err != nil {
+			return fmt.Errorf("funcsim: tile (%d,%d) slice %d: %w", t.tr, t.tc, l, err)
+		}
+		for b := 0; b < r.batch; b++ {
+			for k := 0; k < ka; k++ {
+				ds := blk.digitSum[b*ka+k]
+				if ds == 0 {
+					continue // all-zero stream: nothing to add
+				}
+				t.stats.CrossbarOps++
+				t.stats.ADCConversions += int64(mcols)
+				t.stats.ShiftAdds += int64(mcols)
+				crow := t.curr.Row(b*ka + k)
+				shift := uint(k*cfg.StreamBits + l*cfg.SliceBits)
+				off := m.kg * float64(ds)
+				for j := 0; j < mcols; j++ {
+					p := int64(math.Round(m.adc.Convert(crow[j])*m.scale - off))
+					t.dot[b*mcols+j] += sign * (p << shift)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // MVM executes y = x·W through the crossbar pipeline for a batch of
 // real-valued inputs (batch×in). The result is batch×out in real
-// units (already dequantized from the accumulator).
+// units (already dequantized from the accumulator). Use MVMInto with a
+// caller-owned output to avoid the result allocation.
 func (m *Matrix) MVM(x *linalg.Dense) (*linalg.Dense, error) {
-	if x.Cols != m.in {
-		return nil, fmt.Errorf("funcsim: MVM input has %d features, matrix expects %d", x.Cols, m.in)
-	}
-	cfg := m.eng.cfg
-	n, mcols := cfg.Xbar.Rows, cfg.Xbar.Cols
-	batch := x.Rows
-	ka := cfg.streamDigits()
-	amax := float64(int64(1)<<cfg.StreamBits) - 1
-	wmax := float64(int64(1)<<cfg.SliceBits) - 1
-	prodFrac := cfg.Act.Frac + cfg.Weight.Frac
-
-	adc := quant.ADC{
-		Bits:      cfg.ADCBits,
-		FullScale: float64(n) * cfg.Xbar.Vsupply * cfg.Xbar.Gon(),
-	}
-	// Digital back-conversion constants: the ideal column current is
-	//   I = (Vmax·ΔG)/(amax·wmax) · Σ dA·dW  +  Vmax·Goff/amax · Σ dA,
-	// so p = I·scale − kg·Σ dA recovers the integer digit dot product.
-	scale := amax * wmax / (cfg.Xbar.Vsupply * (cfg.Xbar.Gon() - cfg.Xbar.Goff()))
-	kg := cfg.Xbar.Goff() * wmax / (cfg.Xbar.Gon() - cfg.Xbar.Goff())
-
-	accOut := make([]int64, batch*m.out)
-	m.stats.MVMRows += int64(batch)
-
-	for tr := 0; tr < m.tileRows; tr++ {
-		blocks, err := m.quantizeBlock(x, tr)
-		if err != nil {
-			return nil, err
-		}
-		for tc := 0; tc < m.tileCols; tc++ {
-			lt := &m.tiles[tr][tc]
-			// signedDot accumulates the shift-and-add merged digit
-			// partial products with differential signs.
-			signedDot := make([]int64, batch*mcols)
-			runPass := func(tiles []Tile, blk *inputBlock, sign int64) error {
-				if tiles == nil || !blk.any {
-					m.stats.SkippedPasses++
-					return nil
-				}
-				for l, tile := range tiles {
-					curr, err := tile.Currents(blk.vb)
-					if err != nil {
-						return fmt.Errorf("funcsim: tile (%d,%d) slice %d: %w", tr, tc, l, err)
-					}
-					for b := 0; b < batch; b++ {
-						for k := 0; k < ka; k++ {
-							if blk.digitSum[b*ka+k] == 0 {
-								continue // all-zero stream: nothing to add
-							}
-							m.stats.CrossbarOps++
-							m.stats.ADCConversions += int64(mcols)
-							m.stats.ShiftAdds += int64(mcols)
-							crow := curr.Row(b*ka + k)
-							shift := uint(k*cfg.StreamBits + l*cfg.SliceBits)
-							off := kg * float64(blk.digitSum[b*ka+k])
-							for j := 0; j < mcols; j++ {
-								p := int64(math.Round(adc.Convert(crow[j])*scale - off))
-								signedDot[b*mcols+j] += sign * (p << shift)
-							}
-						}
-					}
-				}
-				return nil
-			}
-			if err := runPass(lt.pos, &blocks[0], 1); err != nil {
-				return nil, err
-			}
-			if err := runPass(lt.neg, &blocks[0], -1); err != nil {
-				return nil, err
-			}
-			if err := runPass(lt.pos, &blocks[1], -1); err != nil {
-				return nil, err
-			}
-			if err := runPass(lt.neg, &blocks[1], 1); err != nil {
-				return nil, err
-			}
-			for b := 0; b < batch; b++ {
-				for j := 0; j < mcols; j++ {
-					gj := tc*mcols + j
-					if gj >= m.out {
-						continue
-					}
-					part := cfg.Acc.Rescale(signedDot[b*mcols+j], prodFrac)
-					idx := b*m.out + gj
-					accOut[idx] = cfg.Acc.Add(accOut[idx], part)
-					m.stats.AccOps++
-				}
-			}
-		}
-	}
-
-	out := linalg.NewDense(batch, m.out)
-	for i, v := range accOut {
-		out.Data[i] = cfg.Acc.Dequantize(v)
+	out := linalg.NewDense(x.Rows, m.out)
+	if err := m.MVMInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// quantizeBlock converts one tile row's activation block into the
-// positive and negative digit-serial input blocks.
-func (m *Matrix) quantizeBlock(x *linalg.Dense, tr int) ([2]inputBlock, error) {
+// MVMInto executes y = x·W into dst (batch×out). Tile passes fan out
+// across the shared worker pool (see Config.Workers); the saturating
+// accumulator merge is serial in fixed (tileRow, tileCol) order, so
+// the result is bit-identical to a fully serial execution at any
+// worker count. Steady-state calls allocate nothing: all scratch comes
+// from the matrix's run pool.
+func (m *Matrix) MVMInto(dst, x *linalg.Dense) error {
+	if x.Cols != m.in {
+		return fmt.Errorf("funcsim: MVM input has %d features, matrix expects %d", x.Cols, m.in)
+	}
+	if dst.Rows != x.Rows || dst.Cols != m.out {
+		return fmt.Errorf("funcsim: MVM output is %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, m.out)
+	}
 	cfg := m.eng.cfg
-	n := cfg.Xbar.Rows
+	r := m.getRun(x)
+	defer m.putRun(r)
+
+	if cfg.Workers == 1 || len(r.tasks) == 1 {
+		for i := range r.tasks {
+			r.doTask(i)
+		}
+	} else {
+		pool := mvmPool()
+		r.wg.Add(len(r.tasks))
+		for i := range r.tasks {
+			if r.sem != nil {
+				r.sem <- struct{}{}
+			}
+			pool <- mvmTaskRef{run: r, idx: i}
+		}
+		r.wg.Wait()
+	}
+	if r.err != nil {
+		return r.err
+	}
+
+	// Deterministic merge: tileRow-major, tileCol-minor — the exact
+	// order of the serial pipeline — so the non-associative saturating
+	// accumulator sees the same operand sequence at any worker count.
+	prodFrac := cfg.Act.Frac + cfg.Weight.Frac
+	mcols := cfg.Xbar.Cols
+	var total Stats
+	for i := range r.tasks {
+		t := &r.tasks[i]
+		for b := 0; b < r.batch; b++ {
+			for j := 0; j < mcols; j++ {
+				gj := t.tc*mcols + j
+				if gj >= m.out {
+					continue
+				}
+				part := cfg.Acc.Rescale(t.dot[b*mcols+j], prodFrac)
+				idx := b*m.out + gj
+				r.accOut[idx] = cfg.Acc.Add(r.accOut[idx], part)
+				total.AccOps++
+			}
+		}
+		total.Add(t.stats)
+	}
+	total.MVMRows = int64(r.batch)
+	m.stats.add(total)
+
+	for i, v := range r.accOut {
+		dst.Data[i] = cfg.Acc.Dequantize(v)
+	}
+	return nil
+}
+
+// getRun pops a pooled run (or builds the first one) and sizes its
+// scratch for the batch. Growth is monotonic: a run reused at the same
+// or smaller batch size allocates nothing.
+func (m *Matrix) getRun(x *linalg.Dense) *mvmRun {
+	m.runMu.Lock()
+	var r *mvmRun
+	if n := len(m.runs); n > 0 {
+		r = m.runs[n-1]
+		m.runs = m.runs[:n-1]
+	}
+	m.runMu.Unlock()
+	if r == nil {
+		r = &mvmRun{m: m}
+		r.blocks = make([]runBlock, m.tileRows)
+		r.tasks = make([]mvmTask, m.tileRows*m.tileCols)
+		for i := range r.tasks {
+			r.tasks[i].tr = i / m.tileCols
+			r.tasks[i].tc = i % m.tileCols
+		}
+	}
+
+	cfg := m.eng.cfg
 	batch := x.Rows
 	ka := cfg.streamDigits()
-	amax := float64(int64(1)<<cfg.StreamBits) - 1
+	n, mcols := cfg.Xbar.Rows, cfg.Xbar.Cols
+	r.x = x
+	r.batch = batch
+	r.failed = false
+	r.err = nil
+	r.accOut = growInt64(r.accOut, batch*m.out)
+	for i := range r.accOut {
+		r.accOut[i] = 0
+	}
+	for i := range r.blocks {
+		rb := &r.blocks[i]
+		rb.done = false
+		for s := range rb.blocks {
+			blk := &rb.blocks[s]
+			blk.vb = growDense(blk.vb, batch*ka, n)
+			blk.digitSum = growInt64(blk.digitSum, batch*ka)
+			blk.any = false
+			blk.vctx = nil
+		}
+	}
+	for i := range r.tasks {
+		t := &r.tasks[i]
+		t.dot = growInt64(t.dot, batch*mcols)
+		t.curr = growDense(t.curr, batch*ka, mcols)
+	}
+	if w := cfg.Workers; w >= 2 {
+		if cap(r.sem) != w {
+			r.sem = make(chan struct{}, w)
+		}
+	} else {
+		r.sem = nil
+	}
+	return r
+}
 
-	var blocks [2]inputBlock
-	for s := range blocks {
-		blocks[s].vb = linalg.NewDense(batch*ka, n)
-		blocks[s].digitSum = make([]int64, batch*ka)
+// putRun drops input references and returns the run to the freelist.
+func (m *Matrix) putRun(r *mvmRun) {
+	r.x = nil
+	for i := range r.blocks {
+		for s := range r.blocks[i].blocks {
+			r.blocks[i].blocks[s].vctx = nil
+		}
+	}
+	m.runMu.Lock()
+	m.runs = append(m.runs, r)
+	m.runMu.Unlock()
+}
+
+// growInt64 returns s resized to n elements, reusing its backing array
+// when capacity allows. Contents are unspecified.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// growDense returns d resized to rows×cols, reusing its backing array
+// when capacity allows. Contents are unspecified.
+func growDense(d *linalg.Dense, rows, cols int) *linalg.Dense {
+	need := rows * cols
+	if d == nil || cap(d.Data) < need {
+		return linalg.NewDense(rows, cols)
+	}
+	d.Rows, d.Cols, d.Data = rows, cols, d.Data[:need]
+	return d
+}
+
+// quantizeBlockInto converts one tile row's activation block into the
+// positive and negative digit-serial input blocks, reusing the run's
+// buffers. When the model chain has a GENIEx surrogate, the per-block
+// voltage context is built here, once, and shared read-only by every
+// (slice, sign, tileCol) evaluation of the row.
+func (m *Matrix) quantizeBlockInto(rb *runBlock, x *linalg.Dense, tr int) {
+	cfg := m.eng.cfg
+	n := cfg.Xbar.Rows
+	ka := cfg.streamDigits()
+	amax := float64(int64(1)<<cfg.StreamBits) - 1
+	batch := x.Rows
+
+	for s := range rb.blocks {
+		blk := &rb.blocks[s]
+		linalg.Fill(blk.vb.Data, 0)
+		for i := range blk.digitSum {
+			blk.digitSum[i] = 0
+		}
+		blk.any = false
+		blk.vctx = nil
 	}
 	for b := 0; b < batch; b++ {
 		row := x.Row(b)
@@ -361,9 +652,10 @@ func (m *Matrix) quantizeBlock(x *linalg.Dense, tr int) ([2]inputBlock, error) {
 				s = 1
 				mag = uint64(-q)
 			}
-			blk := &blocks[s]
+			blk := &rb.blocks[s]
 			blk.any = true
-			for k, d := range quant.Digits(mag, cfg.StreamBits, ka) {
+			for k := 0; k < ka; k++ {
+				d := quant.Digit(mag, cfg.StreamBits, k)
 				if d == 0 {
 					continue
 				}
@@ -372,5 +664,11 @@ func (m *Matrix) quantizeBlock(x *linalg.Dense, tr int) ([2]inputBlock, error) {
 			}
 		}
 	}
-	return blocks, nil
+	if m.eng.sur != nil {
+		for s := range rb.blocks {
+			if blk := &rb.blocks[s]; blk.any {
+				blk.vctx = m.eng.sur.NewVContext(blk.vb)
+			}
+		}
+	}
 }

@@ -38,10 +38,68 @@ type Model interface {
 }
 
 // Tile computes analog output currents for batches of drive voltages.
+// The MVM pipeline invokes tiles from multiple worker goroutines, so
+// implementations must be safe for concurrent Currents calls.
 type Tile interface {
 	// Currents maps a batch of voltage vectors (batch×Rows, volts) to
 	// output currents (batch×Cols, amperes).
 	Currents(v *linalg.Dense) (*linalg.Dense, error)
+}
+
+// intoTile is the allocation-free fast path: tiles that implement it
+// compute into a caller-owned buffer instead of allocating the result.
+// Every in-package tile implements it; the MVM pipeline prefers it and
+// falls back to Currents plus a copy for external implementations.
+type intoTile interface {
+	CurrentsInto(dst, v *linalg.Dense) error
+}
+
+// surrogateTile is implemented by tiles whose analog evaluation runs
+// through the GENIEx neural surrogate. The engine hands them the
+// per-input-block VContext so the dominant first-layer voltage matmul
+// is computed once per block instead of once per (tile, slice, sign).
+type surrogateTile interface {
+	currentsVC(dst, v *linalg.Dense, vc *core.VContext) error
+}
+
+// surrogateModel exposes the core surrogate at the bottom of a model
+// chain (wrappers forward to their inner model); nil when the chain
+// has none. The engine uses it to decide whether building per-block
+// voltage contexts is worthwhile.
+type surrogateModel interface {
+	surrogate() *core.Model
+}
+
+// surrogateOf walks a model chain for its core surrogate.
+func surrogateOf(m Model) *core.Model {
+	if sm, ok := m.(surrogateModel); ok {
+		return sm.surrogate()
+	}
+	return nil
+}
+
+// currentsInto evaluates tile into dst through the fastest interface
+// it implements: the shared-VContext surrogate path, the
+// caller-owned-buffer path, or plain Currents plus a copy.
+func currentsInto(tile Tile, dst, v *linalg.Dense, vc *core.VContext) error {
+	if vc != nil {
+		if st, ok := tile.(surrogateTile); ok {
+			return st.currentsVC(dst, v, vc)
+		}
+	}
+	if it, ok := tile.(intoTile); ok {
+		return it.CurrentsInto(dst, v)
+	}
+	out, err := tile.Currents(v)
+	if err != nil {
+		return err
+	}
+	if out.Rows != dst.Rows || out.Cols != dst.Cols {
+		return fmt.Errorf("funcsim: tile returned %dx%d currents, expected %dx%d",
+			out.Rows, out.Cols, dst.Rows, dst.Cols)
+	}
+	copy(dst.Data, out.Data)
+	return nil
 }
 
 // Ideal is the error-free analog model.
@@ -59,6 +117,14 @@ type idealTile struct{ g *linalg.Dense }
 
 func (t idealTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
 	return linalg.MatMul(v, t.g), nil
+}
+
+// CurrentsInto stays on the calling goroutine: the pipeline already
+// runs one tile task per worker, so nested fan-out would only add
+// scheduling overhead and allocations.
+func (t idealTile) CurrentsInto(dst, v *linalg.Dense) error {
+	linalg.MatMulSerialInto(dst, v, t.g)
+	return nil
 }
 
 // Analytical wraps the linear-parasitics distortion-matrix model.
@@ -85,6 +151,11 @@ func (t analyticalTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
 	return linalg.MatMul(v, t.at), nil
 }
 
+func (t analyticalTile) CurrentsInto(dst, v *linalg.Dense) error {
+	linalg.MatMulSerialInto(dst, v, t.at)
+	return nil
+}
+
 // GENIEx evaluates tiles through a trained core.Model surrogate.
 type GENIEx struct {
 	Model *core.Model
@@ -92,6 +163,8 @@ type GENIEx struct {
 
 // Name implements Model.
 func (GENIEx) Name() string { return "geniex" }
+
+func (m GENIEx) surrogate() *core.Model { return m.Model }
 
 // NewTile implements Model.
 func (m GENIEx) NewTile(g *linalg.Dense) (Tile, error) {
@@ -106,16 +179,67 @@ type geniexTile struct {
 	m   *core.Model
 	g   *linalg.Dense
 	ctx *core.GContext
+
+	// Prediction scratch is pooled per tile so concurrent workers
+	// evaluating the same tile never share a workspace and steady-state
+	// calls allocate nothing.
+	mu   sync.Mutex
+	free []*gxScratch
+}
+
+type gxScratch struct {
+	ws core.PredictWorkspace
+	fr *linalg.Dense
+}
+
+func (t *geniexTile) getScratch() *gxScratch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.free); n > 0 {
+		s := t.free[n-1]
+		t.free = t.free[:n-1]
+		return s
+	}
+	return &gxScratch{}
+}
+
+func (t *geniexTile) putScratch(s *gxScratch) {
+	t.mu.Lock()
+	t.free = append(t.free, s)
+	t.mu.Unlock()
 }
 
 func (t *geniexTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
-	ideal := linalg.MatMul(v, t.g)
-	fr := t.m.PredictWithContext(v, t.ctx)
-	out := linalg.NewDense(ideal.Rows, ideal.Cols)
-	for b := 0; b < ideal.Rows; b++ {
-		copy(out.Row(b), xbar.ApplyRatio(ideal.Row(b), fr.Row(b)))
+	out := linalg.NewDense(v.Rows, t.g.Cols)
+	if err := t.currentsVC(out, v, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+func (t *geniexTile) CurrentsInto(dst, v *linalg.Dense) error {
+	return t.currentsVC(dst, v, nil)
+}
+
+func (t *geniexTile) currentsVC(dst, v *linalg.Dense, vc *core.VContext) error {
+	if vc == nil {
+		vc = t.m.NewVContext(v)
+	}
+	linalg.MatMulSerialInto(dst, v, t.g) // ideal currents
+	s := t.getScratch()
+	s.fr = growDense(s.fr, v.Rows, t.g.Cols)
+	t.m.PredictVGInto(s.fr, vc, t.ctx, &s.ws)
+	for b := 0; b < dst.Rows; b++ {
+		drow, frow := dst.Row(b), s.fr.Row(b)
+		for j, r := range frow {
+			if r <= 0 {
+				r = 1
+			}
+			drow[j] /= r
+		}
+	}
+	t.putScratch(s)
+	return nil
 }
 
 // SolverHealth aggregates circuit-solver outcomes across every tile
@@ -166,12 +290,17 @@ func (c SolverHealthCounts) String() string {
 // Circuit runs the full non-linear solver per tile — the ground-truth
 // mode. It is orders of magnitude slower than the other models and
 // exists for validation on small workloads.
+//
+// When the functional simulator parallelizes across tiles (the default
+// MVM pipeline), set Cfg.BatchWorkers = 1 so each tile solve stays on
+// its worker instead of fanning out a second time.
 type Circuit struct {
 	Cfg xbar.Config
 	// Degraded selects failed-batch-item handling: false (the default)
 	// fails the MVM when any item fails even after the solver's retry
-	// ladder; true zeroes the failed items' currents and continues, so
-	// one bad input no longer kills a whole evaluation. Either way the
+	// ladder or is accepted without convergence; true zeroes the failed
+	// items' currents, keeps best-effort ones, and continues, so one
+	// bad input no longer kills a whole evaluation. Either way the
 	// outcome is counted in Health.
 	Degraded bool
 	// Health, when non-nil, collects solver outcomes across all tiles
@@ -182,32 +311,49 @@ type Circuit struct {
 // Name implements Model.
 func (Circuit) Name() string { return "circuit" }
 
-// NewTile implements Model.
+// NewTile implements Model. The returned tile keeps a persistent pool
+// of programmed Crossbar instances (an xbar.BatchSolver), so the
+// netlist-assembly and conductance-programming cost is paid once per
+// tile lifetime instead of once per worker per Currents call.
 func (m Circuit) NewTile(g *linalg.Dense) (Tile, error) {
-	if err := m.Cfg.Validate(); err != nil {
+	solver, err := xbar.NewBatchSolver(m.Cfg, g)
+	if err != nil {
 		return nil, err
 	}
-	return circuitTile{cfg: m.Cfg, g: g.Clone(), degraded: m.Degraded, health: m.Health}, nil
+	return circuitTile{solver: solver, cols: g.Cols, degraded: m.Degraded, health: m.Health}, nil
 }
 
 type circuitTile struct {
-	cfg      xbar.Config
-	g        *linalg.Dense
+	solver   *xbar.BatchSolver
+	cols     int
 	degraded bool
 	health   *SolverHealth
 }
 
 func (t circuitTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
-	out, rep, err := xbar.BatchSolveReport(t.cfg, t.g, v)
-	if err != nil {
+	out := linalg.NewDense(v.Rows, t.cols)
+	if err := t.CurrentsInto(out, v); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+func (t circuitTile) CurrentsInto(dst, v *linalg.Dense) error {
+	rep, err := t.solver.SolveReportInto(dst, v)
+	if err != nil {
+		return err
 	}
 	if t.health != nil {
 		t.health.record(rep)
 	}
-	if rep.Failed > 0 && !t.degraded {
-		return nil, fmt.Errorf("funcsim: circuit tile: %d of %d batch items failed: %w",
-			rep.Failed, len(rep.Outcomes), rep.FirstError())
+	if !t.degraded {
+		if rep.Failed > 0 {
+			return fmt.Errorf("funcsim: circuit tile: %d of %d batch items failed: %w",
+				rep.Failed, len(rep.Outcomes), rep.FirstError())
+		}
+		if !rep.AllOK() {
+			return fmt.Errorf("funcsim: circuit tile: %w", rep.Err())
+		}
 	}
-	return out, nil
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"geniex/internal/core"
 	"geniex/internal/linalg"
 )
 
@@ -37,6 +38,8 @@ type Noisy struct {
 // Name implements Model.
 func (n *Noisy) Name() string { return n.Inner.Name() + "+noise" }
 
+func (n *Noisy) surrogate() *core.Model { return surrogateOf(n.Inner) }
+
 // NewTile implements Model.
 func (n *Noisy) NewTile(g *linalg.Dense) (Tile, error) {
 	if n.Sigma < 0 {
@@ -63,7 +66,14 @@ func (n *Noisy) NewTile(g *linalg.Dense) (Tile, error) {
 type noisyTile struct {
 	inner Tile
 	std   float64
-	rng   *linalg.RNG
+
+	// The RNG stream advances with every draw; parallel tile tasks may
+	// evaluate the same tile concurrently, so draws are serialized.
+	// Which task draws first is scheduling-dependent, so the engine's
+	// bit-exact-at-any-worker-count guarantee covers the deterministic
+	// models only, not the noise ordering (see DESIGN.md).
+	mu  sync.Mutex
+	rng *linalg.RNG
 }
 
 // Currents implements Tile.
@@ -72,14 +82,34 @@ func (t *noisyTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.std == 0 {
-		return curr, nil
+	t.perturb(curr)
+	return curr, nil
+}
+
+// CurrentsInto implements the allocation-free fast path when the inner
+// tile supports it.
+func (t *noisyTile) CurrentsInto(dst, v *linalg.Dense) error {
+	return t.currentsVC(dst, v, nil)
+}
+
+func (t *noisyTile) currentsVC(dst, v *linalg.Dense, vc *core.VContext) error {
+	if err := currentsInto(t.inner, dst, v, vc); err != nil {
+		return err
 	}
+	t.perturb(dst)
+	return nil
+}
+
+func (t *noisyTile) perturb(curr *linalg.Dense) {
+	if t.std == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i := range curr.Data {
 		curr.Data[i] += t.rng.NormScaled(0, t.std)
 		if curr.Data[i] < 0 {
 			curr.Data[i] = 0 // a sense amplifier cannot report negative current
 		}
 	}
-	return curr, nil
 }

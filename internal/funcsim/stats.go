@@ -1,6 +1,9 @@
 package funcsim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats counts the hardware events a lowered network generates. The
 // counters correspond to the architectural quantities an accelerator
@@ -43,12 +46,53 @@ func (s Stats) String() string {
 		s.CrossbarOps, s.ADCConversions, s.ShiftAdds, s.AccOps, s.MVMRows, s.SkippedPasses)
 }
 
-// Stats returns the counters accumulated by this matrix since creation
-// (or the last ResetStats).
-func (m *Matrix) Stats() Stats { return m.stats }
+// matrixStats is the engine-internal atomic form of Stats: MVMs run
+// tile tasks on many goroutines and may themselves execute
+// concurrently, so the shared counters are updated with atomics and
+// read as a snapshot. The parallel pipeline folds each task's local
+// Stats once per MVM, so the atomic traffic is per-call, not per-op.
+type matrixStats struct {
+	crossbarOps, adcConversions, shiftAdds, accOps, mvmRows, skippedPasses atomic.Int64
+}
+
+func (s *matrixStats) add(d Stats) {
+	s.crossbarOps.Add(d.CrossbarOps)
+	s.adcConversions.Add(d.ADCConversions)
+	s.shiftAdds.Add(d.ShiftAdds)
+	s.accOps.Add(d.AccOps)
+	s.mvmRows.Add(d.MVMRows)
+	s.skippedPasses.Add(d.SkippedPasses)
+}
+
+func (s *matrixStats) snapshot() Stats {
+	return Stats{
+		CrossbarOps:    s.crossbarOps.Load(),
+		ADCConversions: s.adcConversions.Load(),
+		ShiftAdds:      s.shiftAdds.Load(),
+		AccOps:         s.accOps.Load(),
+		MVMRows:        s.mvmRows.Load(),
+		SkippedPasses:  s.skippedPasses.Load(),
+	}
+}
+
+func (s *matrixStats) reset() {
+	s.crossbarOps.Store(0)
+	s.adcConversions.Store(0)
+	s.shiftAdds.Store(0)
+	s.accOps.Store(0)
+	s.mvmRows.Store(0)
+	s.skippedPasses.Store(0)
+}
+
+// Stats returns a consistent snapshot of the counters accumulated by
+// this matrix since creation (or the last ResetStats). Counters are
+// folded once per completed MVM, so a snapshot taken while MVMs are in
+// flight reflects only finished calls — it never shows a torn,
+// partially merged update.
+func (m *Matrix) Stats() Stats { return m.stats.snapshot() }
 
 // ResetStats clears the matrix's counters.
-func (m *Matrix) ResetStats() { m.stats = Stats{} }
+func (m *Matrix) ResetStats() { m.stats.reset() }
 
 // Stats aggregates the counters of every lowered MVM layer in the
 // network.

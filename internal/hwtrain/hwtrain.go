@@ -64,6 +64,13 @@ type hwLayer struct {
 	staleFor int
 	refresh  int
 
+	// prod is the reusable im2col-product buffer for conv forwards:
+	// the MVM result is transient (immediately re-laid-out into the
+	// activation tensor), so it is computed with MVMInto instead of
+	// allocating a fresh matrix every step. It survives re-lowering —
+	// the lowered dimensions do not change.
+	prod *linalg.Dense
+
 	// err holds the first lowering or hardware-forward failure. The
 	// nn.Layer interface cannot return errors, so Forward records the
 	// failure here, falls back to the float result, and the training
@@ -140,8 +147,14 @@ func (h *hwLayer) Forward(x *linalg.Dense, train bool) *linalg.Dense {
 func (h *hwLayer) forwardConv(c *nn.Conv2D, x *linalg.Dense) (*linalg.Dense, error) {
 	g := c.Geom
 	cols := nn.Im2Col(x, g)
-	prod, err := h.mat.MVM(cols)
-	if err != nil {
+	if need := cols.Rows * h.mat.Out(); h.prod == nil || cap(h.prod.Data) < need {
+		h.prod = linalg.NewDense(cols.Rows, h.mat.Out())
+	} else {
+		h.prod.Rows, h.prod.Cols = cols.Rows, h.mat.Out()
+		h.prod.Data = h.prod.Data[:need]
+	}
+	prod := h.prod
+	if err := h.mat.MVMInto(prod, cols); err != nil {
 		return nil, err
 	}
 	spatial := g.OutH() * g.OutW()

@@ -101,6 +101,18 @@ func MatMulInto(out, a, b *Dense) {
 	ParallelFor(a.Rows, func(lo, hi int) { matMulRange(out, a, b, lo, hi) })
 }
 
+// MatMulSerialInto computes out = A·B into a preallocated matrix on
+// the calling goroutine only — no fan-out regardless of size. Callers
+// that are themselves worker tasks (the funcsim tile pipeline) use it
+// to keep nested parallelism and per-call allocations at zero.
+func MatMulSerialInto(out, a, b *Dense) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MatMulSerialInto %dx%d = %dx%d by %dx%d",
+			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	matMulRange(out, a, b, 0, a.Rows)
+}
+
 // matMulRange computes rows [lo,hi) of out = A·B using an ikj loop
 // order, which streams through B rows and is cache-friendly without
 // explicit blocking.

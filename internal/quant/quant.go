@@ -99,6 +99,13 @@ func NumDigits(bits, width int) int {
 	return (bits + width - 1) / width
 }
 
+// Digit returns the k-th width-bit digit of u, least significant
+// first — the allocation-free form of Digits for hot loops that
+// already know the digit count.
+func Digit(u uint64, width, k int) uint64 {
+	return (u >> (uint(k) * uint(width))) & ((uint64(1) << width) - 1)
+}
+
 // Digits decomposes u into count width-bit digits, least significant
 // first. It panics if u does not fit in count digits.
 func Digits(u uint64, width, count int) []uint64 {

@@ -139,99 +139,252 @@ func (r *BatchReport) tally(o ItemOutcome) {
 	r.DampedSteps += o.DampedSteps
 }
 
+// Err returns nil when every item produced a converged solution, the
+// first failed item's error when any item failed, and an error
+// matching ErrNewtonDiverged when the batch contains best-effort items
+// accepted with Converged=false. It is the strict form of the AllOK
+// contract: callers that cannot tolerate silently degraded outputs
+// check Err; callers that can, inspect the per-item Outcomes instead.
+func (r *BatchReport) Err() error {
+	if r.Failed > 0 {
+		return r.FirstError()
+	}
+	if r.Unconverged > 0 {
+		return fmt.Errorf("xbar: %d of %d batch items accepted without convergence (best-effort): %w",
+			r.Unconverged, len(r.Outcomes), ErrNewtonDiverged)
+	}
+	return nil
+}
+
 // BatchSolve runs the full non-linear circuit solver for a batch of
 // input vectors against a single programmed conductance matrix,
 // fanning out across CPUs. vs is batch×Rows; the result is batch×Cols
-// of non-ideal output currents. Any failed item makes the whole call
+// of non-ideal output currents. Any item that fails — or is accepted
+// without convergence under PolicyBestEffort — makes the whole call
 // fail; use BatchSolveReport for per-item outcomes.
 func BatchSolve(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, error) {
 	out, rep, err := BatchSolveReport(cfg, g, vs)
 	if err != nil {
 		return nil, err
 	}
-	if rep.Failed > 0 {
-		return nil, rep.FirstError()
+	if err := rep.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// BatchSolveReport is the resilient batch entry point: every item is
-// attempted, failed items are retried once under the recovery ladder,
-// and the report records per-item status so callers can continue with
-// a degraded-item mask instead of losing the whole batch. Failed
-// items' output rows are zero.
+// BatchSolveReport is the resilient one-shot batch entry point: every
+// item is attempted, failed items are retried once under the recovery
+// ladder, and the report records per-item status so callers can
+// continue with a degraded-item mask instead of losing the whole
+// batch. Failed items' output rows are zero. Note the report may
+// contain unconverged best-effort items even when the returned error
+// is nil; gate on BatchReport.AllOK (or Err) when degraded outputs are
+// unacceptable.
 //
 // The returned error covers setup problems only (bad shapes, an
 // unprogrammable conductance matrix); solver failures never abort the
 // batch. Results are deterministic: each item is solved from a cold
 // start, so the output is independent of worker count and scheduling.
+//
+// Callers that evaluate many batches against the same conductance
+// matrix should hold a NewBatchSolver instead: this function builds
+// and programs fresh crossbar instances on every call.
 func BatchSolveReport(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, *BatchReport, error) {
-	if vs.Cols != cfg.Rows {
-		return nil, nil, fmt.Errorf("xbar: BatchSolve inputs have %d columns for %d rows", vs.Cols, cfg.Rows)
+	s, err := NewBatchSolver(cfg, g)
+	if err != nil {
+		return nil, nil, err
 	}
 	out := linalg.NewDense(vs.Rows, cfg.Cols)
+	rep, err := s.SolveReportInto(out, vs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// BatchSolver is a reusable batch-solving handle bound to one
+// programmed conductance matrix. It keeps a pool of programmed
+// Crossbar instances, so a caller that evaluates many voltage batches
+// against the same weights — the functional simulator's circuit tiles
+// are the motivating case — pays netlist construction and programming
+// once per pooled instance for the solver's lifetime, not once per
+// worker per call.
+//
+// A BatchSolver is safe for concurrent use; concurrent calls draw
+// distinct instances from the pool.
+type BatchSolver struct {
+	cfg     Config     // worker configuration, fault plan stripped
+	faults  *FaultPlan // per-item plan carried by the original config
+	g       *linalg.Dense
+	workers int
+
+	mu   sync.Mutex
+	free []*Crossbar // programmed instances ready to solve
+}
+
+// NewBatchSolver validates the design point, programs one crossbar
+// instance eagerly (so conductance-window errors surface here, not
+// mid-batch), and returns the reusable handle. The fault-injection
+// plan and BatchWorkers carried by cfg apply to every subsequent call.
+func NewBatchSolver(cfg Config, g *linalg.Dense) (*BatchSolver, error) {
+	s := &BatchSolver{
+		cfg:     cfg.WithFaults(nil), // plans are scoped per item in solve
+		faults:  cfg.faults,
+		g:       g.Clone(),
+		workers: cfg.BatchWorkers,
+	}
+	xb, err := s.newInstance()
+	if err != nil {
+		return nil, err
+	}
+	s.free = []*Crossbar{xb}
+	return s, nil
+}
+
+// Conductances returns a copy of the programmed conductance matrix.
+func (s *BatchSolver) Conductances() *linalg.Dense { return s.g.Clone() }
+
+func (s *BatchSolver) newInstance() (*Crossbar, error) {
+	xb, err := New(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := xb.Program(s.g); err != nil {
+		return nil, err
+	}
+	return xb, nil
+}
+
+// acquire pops a programmed instance from the pool or builds one.
+func (s *BatchSolver) acquire() (*Crossbar, error) {
+	s.mu.Lock()
+	if n := len(s.free); n > 0 {
+		xb := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.mu.Unlock()
+		return xb, nil
+	}
+	s.mu.Unlock()
+	return s.newInstance()
+}
+
+// release returns an instance to the pool. The pool retains at most
+// GOMAXPROCS idle instances; surplus ones are dropped for the GC.
+func (s *BatchSolver) release(xb *Crossbar) {
+	xb.setFaults(nil)
+	s.mu.Lock()
+	if len(s.free) < runtime.GOMAXPROCS(0) {
+		s.free = append(s.free, xb)
+	}
+	s.mu.Unlock()
+}
+
+// SolveReport solves a batch, allocating the output matrix. See
+// SolveReportInto.
+func (s *BatchSolver) SolveReport(vs *linalg.Dense) (*linalg.Dense, *BatchReport, error) {
+	out := linalg.NewDense(vs.Rows, s.cfg.Cols)
+	rep, err := s.SolveReportInto(out, vs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// SolveReportInto solves every item of vs (batch×Rows) into out
+// (batch×Cols), fanning out across the configured worker count
+// (Config.BatchWorkers; 0 means GOMAXPROCS). Failed items are retried
+// once under the recovery ladder and zeroed if they still fail; the
+// report carries per-item outcomes. The error covers setup problems
+// only. Results are deterministic and independent of worker count:
+// every item is solved from a cold start and written by index.
+func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*BatchReport, error) {
+	cfg := s.cfg
+	if vs.Cols != cfg.Rows {
+		return nil, fmt.Errorf("xbar: BatchSolve inputs have %d columns for %d rows", vs.Cols, cfg.Rows)
+	}
+	if out.Rows != vs.Rows || out.Cols != cfg.Cols {
+		return nil, fmt.Errorf("xbar: BatchSolve output is %dx%d, want %dx%d", out.Rows, out.Cols, vs.Rows, cfg.Cols)
+	}
 	rep := &BatchReport{Outcomes: make([]ItemOutcome, vs.Rows)}
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > vs.Rows {
 		workers = vs.Rows
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	faults := cfg.faults
-	workerCfg := cfg.WithFaults(nil) // plans are scoped per item below
 
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		setupErr error
-	)
-	next := make(chan int, vs.Rows)
-	for b := 0; b < vs.Rows; b++ {
-		next <- b
-	}
-	close(next)
+	if workers == 1 {
+		// Serial fast path: no goroutines, one pooled instance.
+		xb, err := s.acquire()
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < vs.Rows; b++ {
+			s.armFaults(xb, b)
+			rep.Outcomes[b] = solveItem(xb, vs.Row(b), out.Row(b))
+		}
+		s.release(xb)
+	} else {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			setupErr error
+		)
+		next := make(chan int, vs.Rows)
+		for b := 0; b < vs.Rows; b++ {
+			next <- b
+		}
+		close(next)
 
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			xb, err := New(workerCfg)
-			if err == nil {
-				err = xb.Program(g)
-			}
-			if err != nil {
-				mu.Lock()
-				if setupErr == nil {
-					setupErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			for b := range next {
-				mu.Lock()
-				dead := setupErr != nil
-				mu.Unlock()
-				if dead {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				xb, err := s.acquire()
+				if err != nil {
+					mu.Lock()
+					if setupErr == nil {
+						setupErr = err
+					}
+					mu.Unlock()
 					return
 				}
-				if faults.covers(b) {
-					xb.setFaults(faults)
-				} else {
-					xb.setFaults(nil)
+				defer s.release(xb)
+				for b := range next {
+					mu.Lock()
+					dead := setupErr != nil
+					mu.Unlock()
+					if dead {
+						return
+					}
+					s.armFaults(xb, b)
+					rep.Outcomes[b] = solveItem(xb, vs.Row(b), out.Row(b))
 				}
-				rep.Outcomes[b] = solveItem(xb, vs.Row(b), out.Row(b))
-			}
-		}()
-	}
-	wg.Wait()
-	if setupErr != nil {
-		return nil, nil, setupErr
+			}()
+		}
+		wg.Wait()
+		if setupErr != nil {
+			return nil, setupErr
+		}
 	}
 	for _, o := range rep.Outcomes {
 		rep.tally(o)
 	}
-	return out, rep, nil
+	return rep, nil
+}
+
+// armFaults scopes the per-item fault-injection plan onto an instance.
+func (s *BatchSolver) armFaults(xb *Crossbar, b int) {
+	if s.faults.covers(b) {
+		xb.setFaults(s.faults)
+	} else {
+		xb.setFaults(nil)
+	}
 }
 
 // solveItem solves one batch item, retrying once under the recovery

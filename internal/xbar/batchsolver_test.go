@@ -1,0 +1,222 @@
+package xbar
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"geniex/internal/linalg"
+)
+
+func randomBatch(cfg Config, r *linalg.RNG, batch int) *linalg.Dense {
+	vs := linalg.NewDense(batch, cfg.Rows)
+	for i := range vs.Data {
+		vs.Data[i] = cfg.Vsupply * r.Float64()
+	}
+	return vs
+}
+
+// A reusable BatchSolver must reproduce the one-shot BatchSolveReport
+// result bit for bit across repeated calls, and keep its pool of
+// programmed instances bounded instead of re-programming per call.
+func TestBatchSolverReusesProgrammedInstances(t *testing.T) {
+	cfg := smallConfig()
+	r := linalg.NewRNG(50)
+	g := randomLevels(cfg, r)
+	vs := randomBatch(cfg, r, 6)
+
+	want, wantRep, err := BatchSolveReport(cfg, g, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantRep.AllOK() {
+		t.Fatalf("reference batch not clean: %v", wantRep)
+	}
+
+	s, err := NewBatchSolver(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got, rep, err := s.SolveReport(vs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !rep.AllOK() {
+			t.Fatalf("round %d: %v", round, rep)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("round %d: output[%d] = %v, want %v", round, i, got.Data[i], want.Data[i])
+			}
+		}
+		for b, o := range rep.Outcomes {
+			w := wantRep.Outcomes[b]
+			if o.Status != w.Status || o.NewtonIters != w.NewtonIters || o.Residual != w.Residual {
+				t.Errorf("round %d item %d: outcome %+v, want %+v", round, b, o, w)
+			}
+		}
+	}
+	s.mu.Lock()
+	idle := len(s.free)
+	s.mu.Unlock()
+	if idle < 1 {
+		t.Error("solver pooled no programmed instances after use")
+	}
+	if max := runtime.GOMAXPROCS(0); idle > max {
+		t.Errorf("solver pooled %d idle instances, want at most %d", idle, max)
+	}
+}
+
+// BatchWorkers=1 must run fully serial and still match the parallel
+// result bit for bit; into-style solving must not allocate a result.
+func TestBatchSolverSerialWorkersMatch(t *testing.T) {
+	cfg := smallConfig()
+	r := linalg.NewRNG(51)
+	g := randomLevels(cfg, r)
+	vs := randomBatch(cfg, r, 5)
+
+	parallel, _, err := BatchSolveReport(cfg, g, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.BatchWorkers = 1
+	s, err := NewBatchSolver(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := linalg.NewDense(vs.Rows, cfg.Cols)
+	rep, err := s.SolveReportInto(out, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllOK() {
+		t.Fatalf("serial batch not clean: %v", rep)
+	}
+	for i := range parallel.Data {
+		if out.Data[i] != parallel.Data[i] {
+			t.Fatalf("output[%d]: serial %v != parallel %v", i, out.Data[i], parallel.Data[i])
+		}
+	}
+
+	cfg.BatchWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative BatchWorkers passed validation")
+	}
+}
+
+// Best-effort items accepted without convergence must not pass
+// silently: the report's strict gate and the BatchSolve convenience
+// wrapper both surface them as ErrNewtonDiverged.
+func TestBatchSolveSurfacesUnconvergedItems(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Policy = PolicyBestEffort
+	r := linalg.NewRNG(52)
+	g := randomLevels(cfg, r)
+	vs := randomBatch(cfg, r, 4)
+	// The whole ladder is forced to fail on item 2, so best-effort
+	// accepts its lowest-residual iterate with Converged=false.
+	faulted := cfg.WithFaults(&FaultPlan{FailAttempts: 3, Items: []int{2}})
+
+	out, rep, err := BatchSolveReport(faulted, g, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unconverged != 1 || rep.Failed != 0 {
+		t.Fatalf("unconverged=%d failed=%d, want 1/0", rep.Unconverged, rep.Failed)
+	}
+	if rep.AllOK() {
+		t.Error("AllOK true with an unconverged item")
+	}
+	gateErr := rep.Err()
+	if gateErr == nil {
+		t.Fatal("Err() = nil with an unconverged item")
+	}
+	if !errors.Is(gateErr, ErrNewtonDiverged) {
+		t.Errorf("Err() = %v, want ErrNewtonDiverged", gateErr)
+	}
+	for i, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("output[%d] non-finite: %v", i, v)
+		}
+	}
+
+	// The error-only wrapper must refuse the degraded batch outright.
+	if _, err := BatchSolve(faulted, g, vs); !errors.Is(err, ErrNewtonDiverged) {
+		t.Errorf("BatchSolve error = %v, want ErrNewtonDiverged", err)
+	}
+
+	// A clean batch keeps the nil-error contract.
+	if _, err := BatchSolve(cfg, g, vs); err != nil {
+		t.Errorf("clean BatchSolve errored: %v", err)
+	}
+}
+
+// Solution.MaxStep must report the length of the *applied* Newton
+// update. When the damped rung backtracks, the accepted step is the
+// shortened one — the solver once kept reporting the full-length
+// Newton direction, over-stating MaxStep and feeding the wrong length
+// to the stall test.
+func TestMaxStepReportsAppliedStep(t *testing.T) {
+	cfg := smallConfig()
+	r := linalg.NewRNG(53)
+	g := randomLevels(cfg, r)
+	v := randomDrive(cfg, r)
+
+	// Fail the plain rung so the damped rung runs, and force it to
+	// backtrack after every update so convergence is always detected on
+	// a shortened step. Half-length steps converge linearly instead of
+	// quadratically, so give the rung a bigger Newton budget.
+	xb, err := New(cfg.WithFaults(&FaultPlan{FailAttempts: 1, BacktrackEvery: true, MaxNewton: 500}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xb.Program(g); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := xb.Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Recovery != "damped" {
+		t.Fatalf("Recovery = %q, want damped", sol.Recovery)
+	}
+	if !sol.Converged {
+		t.Fatal("damped rung did not converge")
+	}
+	if sol.DampedSteps == 0 {
+		t.Fatal("forced backtracking never engaged")
+	}
+
+	// The solver's final iterate is volt = prev + scale·step: the
+	// applied update. MaxStep must equal its length, not the length of
+	// the full Newton direction held in step.
+	var applied, full float64
+	for n := range xb.volt {
+		if d := math.Abs(xb.volt[n] - xb.prev[n]); d > applied {
+			applied = d
+		}
+		if d := math.Abs(xb.step[n]); d > full {
+			full = d
+		}
+	}
+	if applied == 0 || full == 0 {
+		t.Fatalf("degenerate final iterate: applied=%v full=%v", applied, full)
+	}
+	if applied >= full {
+		t.Fatalf("backtrack did not shorten the step: applied %v, full %v", applied, full)
+	}
+	// Convergence is always detected right after a forced backtrack, so
+	// the accepted scale is at most 1/2: the stale-tracking bug reported
+	// the full length here.
+	if sol.MaxStep > 0.5*full {
+		t.Errorf("MaxStep = %v exceeds half the full Newton step %v: full length reported", sol.MaxStep, full)
+	}
+	// And it must match the measured applied update up to the rounding
+	// of prev + scale·step − prev.
+	if rel := math.Abs(sol.MaxStep-applied) / applied; rel > 1e-6 {
+		t.Errorf("MaxStep = %v, want applied step %v (rel err %v, full step %v)", sol.MaxStep, applied, rel, full)
+	}
+}

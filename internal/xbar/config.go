@@ -110,6 +110,14 @@ type Config struct {
 	// value (PolicyRecover) runs the recovery ladder.
 	Policy SolverPolicy
 
+	// BatchWorkers bounds the goroutines a batch solve fans out across.
+	// Zero (the default) means GOMAXPROCS; 1 forces a fully serial
+	// solve with no goroutines — callers that already parallelize at a
+	// coarser grain (the functional simulator's tile pipeline) use it
+	// to avoid oversubscription, and benchmarks use it as the serial
+	// baseline. Negative values are invalid.
+	BatchWorkers int
+
 	// faults carries a test-only fault-injection plan; see WithFaults.
 	faults *FaultPlan
 }
@@ -155,6 +163,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("xbar: RRAM parameters must be positive, got %+v", c.RRAM)
 	case c.Policy < PolicyRecover || c.Policy > PolicyBestEffort:
 		return fmt.Errorf("xbar: invalid solver policy %d", int(c.Policy))
+	case c.BatchWorkers < 0:
+		return fmt.Errorf("xbar: BatchWorkers must be non-negative, got %d", c.BatchWorkers)
 	}
 	return nil
 }

@@ -20,6 +20,12 @@ type FaultPlan struct {
 	// direct-LU fallback. It applies to every ladder attempt of every
 	// solve the plan covers.
 	CGBreakdownAt int
+	// BacktrackEvery forces the damped rung to backtrack every Newton
+	// update once (halving the step) even when the KCL residual did not
+	// increase, so tests can deterministically exercise the
+	// damped-step accounting (Solution.MaxStep must report the applied
+	// half-length step, and the stall test must compare it).
+	BacktrackEvery bool
 	// NaNConductance poisons one assembled Jacobian stamp with NaN,
 	// simulating a corrupted conductance. No rung can rescue this; the
 	// solver must detect it and fail loudly instead of returning NaN

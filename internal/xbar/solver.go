@@ -42,7 +42,8 @@ type NewtonDivergedError struct {
 	// Iters is the total number of Newton updates spent across all
 	// recovery attempts.
 	Iters int
-	// MaxStep is the last Newton update's max |Δv| (volts).
+	// MaxStep is the max |Δv| (volts) of the last applied Newton
+	// update (the accepted, possibly damped, step).
 	MaxStep float64
 	// Residual is the final relative KCL residual.
 	Residual float64
@@ -95,7 +96,9 @@ type Solution struct {
 	// Residual is the final relative KCL residual ‖J·v − rhs‖/‖rhs‖ —
 	// the physical nodal current imbalance of the reported solution.
 	Residual float64
-	// MaxStep is the last Newton update's max |Δv| (volts).
+	// MaxStep is the max |Δv| (volts) of the last *applied* Newton
+	// update: when the damped rung backtracks, this is the accepted
+	// shortened step, not the full-length Newton direction.
 	MaxStep float64
 	// Recovery names the ladder rung that produced the solution: ""
 	// (plain Newton), "damped", "source-step", or "best-effort" when
@@ -272,13 +275,21 @@ func (x *Crossbar) kclResidual() float64 {
 // could not rescue.
 func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, sol *Solution) (bool, error) {
 	prevResid := math.Inf(1)
+	// lastStep is the max |Δv| of the last *applied* update — after a
+	// damped backtrack this is the shortened step, not the full Newton
+	// step. Both the convergence/stall tests and the reported
+	// Solution.MaxStep use the applied length; tracking the full length
+	// here once over-reported MaxStep and made the stall test compare
+	// the wrong step.
 	lastStep := math.Inf(1)
+	fullStep := math.Inf(1) // length of the undamped Newton step
 	scale := 1.0
 	update := 0
 	for iter := 0; iter < x.maxNewton; iter++ {
 		x.assemble(v)
 		resid := x.kclResidual()
-		if damped && resid > prevResid && scale > minDamping {
+		forced := x.faults != nil && x.faults.BacktrackEvery && scale == 1 && !math.IsInf(fullStep, 1)
+		if damped && (resid > prevResid || forced) && scale > minDamping {
 			// The last step increased the KCL residual: retreat to a
 			// shorter step along the same Newton direction and
 			// re-linearize there.
@@ -286,6 +297,7 @@ func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, 
 			for n := range x.volt {
 				x.volt[n] = x.prev[n] + scale*x.step[n]
 			}
+			lastStep = scale * fullStep
 			sol.DampedSteps++
 			continue
 		}
@@ -343,6 +355,7 @@ func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, 
 			}
 		}
 		lastStep = maxStep
+		fullStep = maxStep
 		prevResid = resid
 		scale = 1
 		copy(x.volt, x.delta)
