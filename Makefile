@@ -8,11 +8,11 @@ GO ?= go
 # race detector must stay clean on these. -short skips the
 # circuit-in-the-loop pipeline tests that are too slow under race
 # instrumentation.
-RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg
+RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench obs-smoke
 
-check: vet build test race
+check: vet build test race obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +30,9 @@ race:
 # allocs/op contract (ideal steady state must report 0 allocs/op).
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem .
+
+# End-to-end metrics gate: run a tiny funcsim-run with -metrics-addr,
+# scrape the endpoint, and assert the JSON snapshot holds live solver
+# and tile histograms.
+obs-smoke:
+	$(GO) run ./scripts/obssmoke

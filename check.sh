@@ -7,4 +7,5 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race -short ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg
+go test -race -short ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs
+go run ./scripts/obssmoke

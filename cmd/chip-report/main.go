@@ -16,6 +16,7 @@ import (
 	"geniex/internal/dataset"
 	"geniex/internal/funcsim"
 	"geniex/internal/models"
+	"geniex/internal/xbar"
 )
 
 func main() {
@@ -57,10 +58,13 @@ func run() error {
 		return fmt.Errorf("unknown model family %q", *arch_)
 	}
 
-	cfg := funcsim.DefaultConfig()
-	cfg.Xbar.Rows, cfg.Xbar.Cols = *size, *size
-	cfg.StreamBits, cfg.SliceBits = *streams, *slices
-	if err := cfg.Validate(); err != nil {
+	xcfg, err := xbar.NewConfig(*size, *size)
+	if err != nil {
+		return err
+	}
+	cfg, err := funcsim.NewConfig(xcfg,
+		funcsim.WithStreamBits(*streams), funcsim.WithSliceBits(*slices))
+	if err != nil {
 		return err
 	}
 

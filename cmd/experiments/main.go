@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"geniex/internal/experiments"
+	"geniex/internal/obs"
 )
 
 func main() {
@@ -39,8 +40,18 @@ func run() error {
 		csvDir = flag.String("csv", "", "also write one CSV per experiment into this directory")
 		quiet  = flag.Bool("q", false, "suppress progress logging")
 		seed   = flag.Uint64("seed", 1, "master random seed")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the obs metrics snapshot over HTTP on this address (e.g. 127.0.0.1:0); empty disables")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics: serving on http://%s/metrics\n", addr)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

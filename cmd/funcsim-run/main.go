@@ -12,11 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"geniex/internal/core"
 	"geniex/internal/dataset"
 	"geniex/internal/funcsim"
 	"geniex/internal/models"
+	"geniex/internal/obs"
 	"geniex/internal/quant"
 	"geniex/internal/xbar"
 )
@@ -51,8 +53,28 @@ func run() error {
 		degraded  = flag.Bool("degraded", false, "circuit mode: continue with zeroed currents for batch items that fail even after recovery")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "concurrent tile tasks per MVM: 0 = all cores, 1 = serial (results are bit-identical at any setting)")
+
+		gxSamples = flag.Int("geniex-samples", 500, "geniex mode: dataset samples for surrogate training")
+		gxEpochs  = flag.Int("geniex-epochs", 150, "geniex mode: surrogate training epochs")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve the obs metrics snapshot over HTTP on this address (e.g. 127.0.0.1:0); empty disables")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run finishes")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics: serving on http://%s/metrics\n", addr)
+		if *metricsLinger > 0 {
+			defer func() {
+				fmt.Printf("metrics: lingering %s before exit\n", *metricsLinger)
+				time.Sleep(*metricsLinger)
+			}()
+		}
+	}
 
 	var set *dataset.Set
 	switch *dsName {
@@ -64,27 +86,28 @@ func run() error {
 		return fmt.Errorf("unknown dataset %q", *dsName)
 	}
 
-	simCfg := funcsim.DefaultConfig()
-	simCfg.Xbar.Rows, simCfg.Xbar.Cols = *size, *size
-	simCfg.Xbar.Vsupply = *vdd
-	simCfg.Xbar.Ron = *ron
-	simCfg.Xbar.OnOffRatio = *onoff
-	simCfg.Weight = quant.FxP{Bits: *bits, Frac: *bits - 3}
-	simCfg.Act = quant.FxP{Bits: *bits, Frac: *bits - 3}
-	simCfg.StreamBits, simCfg.SliceBits = *streams, *slices
-	simCfg.ADCBits = *adc
-	simCfg.Workers = *workers
-	if *mode == "circuit" && *workers != 1 {
-		// Tile tasks already saturate the cores; keep each circuit batch
-		// solve on its worker instead of fanning out a second time.
-		simCfg.Xbar.BatchWorkers = 1
-	}
 	pol, err := xbar.ParsePolicy(*policy)
 	if err != nil {
 		return err
 	}
-	simCfg.Xbar.Policy = pol
-	if err := simCfg.Validate(); err != nil {
+	batchWorkers := 0
+	if *mode == "circuit" && *workers != 1 {
+		// Tile tasks already saturate the cores; keep each circuit batch
+		// solve on its worker instead of fanning out a second time.
+		batchWorkers = 1
+	}
+	xcfg, err := xbar.NewConfig(*size, *size,
+		xbar.WithVsupply(*vdd), xbar.WithRon(*ron), xbar.WithOnOffRatio(*onoff),
+		xbar.WithPolicy(pol), xbar.WithBatchWorkers(batchWorkers))
+	if err != nil {
+		return err
+	}
+	fxp := quant.FxP{Bits: *bits, Frac: *bits - 3}
+	simCfg, err := funcsim.NewConfig(xcfg,
+		funcsim.WithFormats(fxp, fxp),
+		funcsim.WithStreamBits(*streams), funcsim.WithSliceBits(*slices),
+		funcsim.WithADCBits(*adc), funcsim.WithWorkers(*workers))
+	if err != nil {
 		return err
 	}
 
@@ -122,7 +145,7 @@ func run() error {
 		} else {
 			fmt.Println("training GENIEx surrogate for the design point...")
 			ds, err := core.Generate(simCfg.Xbar, core.GenOptions{
-				Samples:    500,
+				Samples:    *gxSamples,
 				StreamBits: *streams, SliceBits: *slices,
 				Sparsities: []float64{0, 0.25, 0.5, 0.75, 0.9, 0.97},
 				Seed:       *seed + 50,
@@ -133,7 +156,7 @@ func run() error {
 			if gx, err = core.NewModel(simCfg.Xbar, 128, *seed+60); err != nil {
 				return err
 			}
-			if err := gx.Train(ds, core.TrainOptions{Epochs: 150, Seed: *seed + 70}); err != nil {
+			if err := gx.Train(ds, core.TrainOptions{Epochs: *gxEpochs, Seed: *seed + 70}); err != nil {
 				return err
 			}
 		}

@@ -41,12 +41,9 @@ func run() error {
 	)
 	flag.Parse()
 
-	cfg := xbar.DefaultConfig()
-	cfg.Rows, cfg.Cols = *size, *size
-	cfg.Ron = *ron
-	cfg.OnOffRatio = *onoff
-	cfg.Vsupply = *vdd
-	if err := cfg.Validate(); err != nil {
+	cfg, err := xbar.NewConfig(*size, *size,
+		xbar.WithRon(*ron), xbar.WithOnOffRatio(*onoff), xbar.WithVsupply(*vdd))
+	if err != nil {
 		return err
 	}
 	fmt.Println("design point:", cfg.String())

@@ -41,19 +41,20 @@ func run() error {
 	)
 	flag.Parse()
 
-	cfg := xbar.DefaultConfig()
-	cfg.Rows, cfg.Cols = *size, *size
-	cfg.Ron = *ron
-	cfg.OnOffRatio = *onoff
-	cfg.Rsource, cfg.Rsink, cfg.Rwire = *rsource, *rsink, *rwire
-	cfg.Vsupply = *vdd
-	cfg.NonLinear = !*linear
 	pol, err := xbar.ParsePolicy(*policy)
 	if err != nil {
 		return err
 	}
-	cfg.Policy = pol
-	if err := cfg.Validate(); err != nil {
+	opts := []xbar.Option{
+		xbar.WithRon(*ron), xbar.WithOnOffRatio(*onoff),
+		xbar.WithParasitics(*rsource, *rsink, *rwire),
+		xbar.WithVsupply(*vdd), xbar.WithPolicy(pol),
+	}
+	if *linear {
+		opts = append(opts, xbar.WithLinearDevices())
+	}
+	cfg, err := xbar.NewConfig(*size, *size, opts...)
+	if err != nil {
 		return err
 	}
 	fmt.Println("design point:", cfg.String())

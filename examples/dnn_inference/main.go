@@ -16,6 +16,7 @@ import (
 	"geniex/internal/dataset"
 	"geniex/internal/funcsim"
 	"geniex/internal/models"
+	"geniex/internal/xbar"
 )
 
 func main() {
@@ -33,8 +34,14 @@ func main() {
 
 	// 2. Architecture: 16×16 tiles, 16-bit operands, 4-bit streams and
 	// slices, 14-bit ADC (the paper's Table 3 defaults).
-	simCfg := funcsim.DefaultConfig()
-	simCfg.Xbar.Rows, simCfg.Xbar.Cols = 16, 16
+	xcfg, err := xbar.NewConfig(16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simCfg, err := funcsim.NewConfig(xcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Train the GENIEx surrogate for this design point.
 	fmt.Println("training GENIEx surrogate for", simCfg.Xbar.String(), "...")

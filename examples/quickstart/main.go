@@ -18,8 +18,10 @@ import (
 func main() {
 	// 1. Describe the crossbar design point: a 16×16 array with the
 	// paper's nominal parasitics and device parameters.
-	cfg := xbar.DefaultConfig()
-	cfg.Rows, cfg.Cols = 16, 16
+	cfg, err := xbar.NewConfig(16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("design point:", cfg)
 
 	// 2. Solve one MVM at circuit level (the HSPICE substitute) and

@@ -18,6 +18,7 @@ import (
 	"geniex/internal/models"
 	"geniex/internal/nn"
 	"geniex/internal/quant"
+	"geniex/internal/xbar"
 )
 
 func main() {
@@ -44,14 +45,17 @@ func main() {
 	fmt.Printf("float accuracy: %.1f%%\n", 100*models.TestAccuracy(net, set, 64))
 
 	// A deliberately harsh design point.
-	cfg := funcsim.DefaultConfig()
-	cfg.Xbar.Rows, cfg.Xbar.Cols = 8, 8
-	cfg.Xbar.Ron = 25e3
-	cfg.Xbar.OnOffRatio = 2
-	cfg.Xbar.Rwire = 25
-	cfg.Weight = quant.FxP{Bits: 8, Frac: 4}
-	cfg.Act = quant.FxP{Bits: 8, Frac: 4}
-	cfg.StreamBits, cfg.SliceBits = 2, 2
+	xcfg, err := xbar.NewConfig(8, 8,
+		xbar.WithRon(25e3), xbar.WithOnOffRatio(2), xbar.WithParasitics(500, 100, 25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := funcsim.NewConfig(xcfg,
+		funcsim.WithFormats(quant.FxP{Bits: 8, Frac: 4}, quant.FxP{Bits: 8, Frac: 4}),
+		funcsim.WithStreamBits(2), funcsim.WithSliceBits(2))
+	if err != nil {
+		log.Fatal(err)
+	}
 	eng, err := funcsim.NewEngine(cfg, funcsim.Analytical{Cfg: cfg.Xbar})
 	if err != nil {
 		log.Fatal(err)

@@ -18,8 +18,10 @@ import (
 )
 
 func main() {
-	cfg := xbar.DefaultConfig()
-	cfg.Rows, cfg.Cols = 16, 16
+	cfg, err := xbar.NewConfig(16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	variation := xbar.Variation{Sigma: 0.25, StuckOff: 0.02, Seed: 99}
 	fmt.Println("design point:", cfg)
 	fmt.Printf("programming noise: sigma=%.2f, stuck-off=%.0f%%\n\n",

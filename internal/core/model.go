@@ -176,13 +176,27 @@ func (m *Model) Train(ds *Dataset, opt TrainOptions) error {
 }
 
 // Predict returns the distortion ratio vector fR for one (V, G)
-// combination in physical units.
+// combination in physical units. It follows the repo-wide Into idiom:
+// the allocating method delegates to PredictInto with a fresh result
+// buffer.
 func (m *Model) Predict(v []float64, g *linalg.Dense) []float64 {
+	out := make([]float64, m.Cfg.Cols)
+	m.PredictInto(out, v, g)
+	return out
+}
+
+// PredictInto evaluates fR for one (V, G) combination into dst (length
+// Cols, physical units). The per-call contexts still allocate; hot
+// loops evaluating many voltage batches against fixed conductances
+// should build the contexts once and call PredictVGInto.
+func (m *Model) PredictInto(dst, v []float64, g *linalg.Dense) {
+	if len(dst) != m.Cfg.Cols {
+		panic(fmt.Sprintf("core: predict into %d outputs, want %d", len(dst), m.Cfg.Cols))
+	}
 	ctx := m.NewGContext(g)
 	vb := linalg.NewDense(1, len(v))
 	copy(vb.Row(0), v)
-	out := m.PredictWithContext(vb, ctx)
-	return out.Row(0)
+	m.PredictWithContextInto(linalg.NewDenseFrom(1, m.Cfg.Cols, dst), vb, ctx)
 }
 
 // GContext caches the conductance-dependent part of the first layer.
@@ -307,22 +321,39 @@ func (m *Model) PredictVGInto(dst *linalg.Dense, vc *VContext, gc *GContext, ws 
 // PredictWithContext evaluates fR for a batch of voltage vectors
 // (batch × Rows, physical units) against a cached conductance context.
 // The returned matrix is batch × Cols of physical (denormalized) fR.
-// It is safe for concurrent use; callers evaluating the same voltage
-// batch against many conductance contexts should build one VContext
-// and call PredictVGInto instead, which also skips the per-call
-// allocations.
+// It allocates its result and delegates to PredictWithContextInto.
 func (m *Model) PredictWithContext(v *linalg.Dense, ctx *GContext) *linalg.Dense {
-	vc := m.NewVContext(v)
 	out := linalg.NewDense(v.Rows, m.Cfg.Cols)
-	m.PredictVGInto(out, vc, ctx, &PredictWorkspace{})
+	m.PredictWithContextInto(out, v, ctx)
 	return out
 }
 
+// PredictWithContextInto evaluates fR for a batch of voltage vectors
+// into dst (batch × Cols). It is safe for concurrent use; callers
+// evaluating the same voltage batch against many conductance contexts
+// should build one VContext and call PredictVGInto instead, which also
+// skips the per-call voltage-context and workspace allocations.
+func (m *Model) PredictWithContextInto(dst, v *linalg.Dense, ctx *GContext) {
+	vc := m.NewVContext(v)
+	m.PredictVGInto(dst, vc, ctx, &PredictWorkspace{})
+}
+
 // NonIdealCurrents predicts the non-ideal output currents for one
-// (V, G) combination: the ideal MVM divided by the predicted ratio.
+// (V, G) combination: the ideal MVM divided by the predicted ratio. It
+// allocates its result and delegates to NonIdealCurrentsInto.
 func (m *Model) NonIdealCurrents(v []float64, g *linalg.Dense) []float64 {
-	fr := m.Predict(v, g)
-	return xbar.ApplyRatio(xbar.IdealCurrents(v, g), fr)
+	out := make([]float64, m.Cfg.Cols)
+	m.NonIdealCurrentsInto(out, v, g)
+	return out
+}
+
+// NonIdealCurrentsInto predicts the non-ideal output currents into dst
+// (length Cols). The prediction contexts and the ideal-current scratch
+// still allocate; this is a reporting-path convenience, not a hot-loop
+// primitive — the funcsim pipeline uses the cached-context paths.
+func (m *Model) NonIdealCurrentsInto(dst, v []float64, g *linalg.Dense) {
+	m.PredictInto(dst, v, g) // dst temporarily holds fR
+	xbar.ApplyRatioInto(dst, xbar.IdealCurrents(v, g), dst)
 }
 
 // Save serializes the model with gob.

@@ -82,18 +82,25 @@ func (d *DirectModel) Train(ds *Dataset, opt TrainOptions) error {
 	return d.M.Train(shadow, opt)
 }
 
-// NonIdealCurrents implements CurrentModel.
+// NonIdealCurrents implements CurrentModel. It allocates its result
+// and delegates to NonIdealCurrentsInto.
 func (d *DirectModel) NonIdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	out := make([]float64, d.M.Cfg.Cols)
+	d.NonIdealCurrentsInto(out, v, g)
+	return out
+}
+
+// NonIdealCurrentsInto predicts the non-ideal currents into dst
+// (length Cols).
+func (d *DirectModel) NonIdealCurrentsInto(dst, v []float64, g *linalg.Dense) {
 	// The underlying model denormalizes with its label window, which
 	// here holds normalized currents.
-	norm := d.M.Predict(v, g)
-	out := make([]float64, len(norm))
+	d.M.PredictInto(dst, v, g)
 	full := d.fullScale()
-	for j, x := range norm {
+	for j, x := range dst {
 		if x < 0 {
 			x = 0 // currents cannot be negative for non-negative drives
 		}
-		out[j] = x * full
+		dst[j] = x * full
 	}
-	return out
 }

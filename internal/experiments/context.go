@@ -119,16 +119,20 @@ func (c *Context) logf(format string, args ...any) {
 // BaseXbar returns the nominal crossbar design point at the context's
 // tile size.
 func (c *Context) BaseXbar() xbar.Config {
-	cfg := xbar.DefaultConfig()
-	cfg.Rows, cfg.Cols = c.Scale.TileSize, c.Scale.TileSize
+	cfg, err := xbar.NewConfig(c.Scale.TileSize, c.Scale.TileSize)
+	if err != nil {
+		panic("experiments: invalid scale tile size: " + err.Error())
+	}
 	return cfg
 }
 
 // BaseSimConfig returns the nominal functional-simulator architecture
 // at the context's tile size.
 func (c *Context) BaseSimConfig() funcsim.Config {
-	cfg := funcsim.DefaultConfig()
-	cfg.Xbar = c.BaseXbar()
+	cfg, err := funcsim.NewConfig(c.BaseXbar())
+	if err != nil {
+		panic("experiments: invalid base sim config: " + err.Error())
+	}
 	return cfg
 }
 

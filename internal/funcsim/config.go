@@ -1,0 +1,48 @@
+package funcsim
+
+import (
+	"geniex/internal/quant"
+	"geniex/internal/xbar"
+)
+
+// Option adjusts a Config under construction by NewConfig.
+type Option func(*Config)
+
+// WithFormats sets the fixed-point formats of weights and activations.
+func WithFormats(weight, act quant.FxP) Option {
+	return func(c *Config) { c.Weight, c.Act = weight, act }
+}
+
+// WithStreamBits sets the input-stream digit width.
+func WithStreamBits(n int) Option { return func(c *Config) { c.StreamBits = n } }
+
+// WithSliceBits sets the weight-slice digit width.
+func WithSliceBits(n int) Option { return func(c *Config) { c.SliceBits = n } }
+
+// WithADCBits sets the converter resolution at each bit line.
+func WithADCBits(n int) Option { return func(c *Config) { c.ADCBits = n } }
+
+// WithAcc sets the saturating output accumulator format.
+func WithAcc(acc quant.Acc) Option { return func(c *Config) { c.Acc = acc } }
+
+// WithWorkers bounds how many tile tasks of one MVM run concurrently
+// (0 = shared pool at full width, 1 = serial; see Config.Workers).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// NewConfig builds a validated architecture: the paper's nominal
+// parameters (DefaultConfig) on the given crossbar design point,
+// adjusted by the options, checked once by Validate — including the
+// crossbar's own validation. Construction sites should prefer it over
+// mutating struct literals, so inconsistent digit widths and formats
+// surface here instead of deep inside a lowering or MVM.
+func NewConfig(x xbar.Config, opts ...Option) (Config, error) {
+	c := DefaultConfig()
+	c.Xbar = x
+	for _, o := range opts {
+		o(&c)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"geniex/internal/core"
 	"geniex/internal/linalg"
+	"geniex/internal/obs"
 	"geniex/internal/quant"
 	"geniex/internal/xbar"
 )
@@ -352,13 +353,17 @@ func (r *mvmRun) hasFailed() bool {
 
 // execTask is the pool-side wrapper: it releases the in-flight slot,
 // converts panics into run errors (a dead pool worker would hang every
-// later MVM), and signals completion.
+// later MVM), and signals completion. The active-worker gauge is
+// updated unconditionally (not gated on obs.Enabled) so the paired
+// increment/decrement cannot skew if the flag flips mid-task.
 func (r *mvmRun) execTask(idx int) {
+	mActiveWorkers.Add(1)
 	defer func() {
 		if p := recover(); p != nil {
 			r.setErr(fmt.Errorf("funcsim: MVM tile task (%d,%d) panicked: %v",
 				r.tasks[idx].tr, r.tasks[idx].tc, p))
 		}
+		mActiveWorkers.Add(-1)
 		if r.sem != nil {
 			<-r.sem
 		}
@@ -374,6 +379,8 @@ func (r *mvmRun) doTask(idx int) {
 	if r.hasFailed() {
 		return
 	}
+	start := obs.Now()
+	defer mTileLatency.ObserveSince(start)
 	t := &r.tasks[idx]
 	rb := &r.blocks[t.tr]
 	rb.mu.Lock()
@@ -469,6 +476,9 @@ func (m *Matrix) MVMInto(dst, x *linalg.Dense) error {
 	if dst.Rows != x.Rows || dst.Cols != m.out {
 		return fmt.Errorf("funcsim: MVM output is %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, m.out)
 	}
+	mvmStart := obs.Now()
+	region := obs.StartRegion("funcsim.mvm")
+	defer region.End()
 	cfg := m.eng.cfg
 	r := m.getRun(x)
 	defer m.putRun(r)
@@ -485,6 +495,7 @@ func (m *Matrix) MVMInto(dst, x *linalg.Dense) error {
 				r.sem <- struct{}{}
 			}
 			pool <- mvmTaskRef{run: r, idx: i}
+			mQueueDepth.Set(int64(len(mvmPoolCh)))
 		}
 		r.wg.Wait()
 	}
@@ -516,6 +527,11 @@ func (m *Matrix) MVMInto(dst, x *linalg.Dense) error {
 	}
 	total.MVMRows = int64(r.batch)
 	m.stats.add(total)
+	if obs.Enabled() {
+		mMVMCalls.Inc()
+		mMVMLatency.ObserveSince(mvmStart)
+		recordMVM(total)
+	}
 
 	for i, v := range r.accOut {
 		dst.Data[i] = cfg.Acc.Dequantize(v)
@@ -534,6 +550,13 @@ func (m *Matrix) getRun(x *linalg.Dense) *mvmRun {
 		m.runs = m.runs[:n-1]
 	}
 	m.runMu.Unlock()
+	if obs.Enabled() {
+		if r != nil {
+			mFreelistHits.Inc()
+		} else {
+			mFreelistMisses.Inc()
+		}
+	}
 	if r == nil {
 		r = &mvmRun{m: m}
 		r.blocks = make([]runBlock, m.tileRows)

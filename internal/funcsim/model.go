@@ -23,6 +23,7 @@ import (
 
 	"geniex/internal/core"
 	"geniex/internal/linalg"
+	"geniex/internal/obs"
 	"geniex/internal/xbar"
 )
 
@@ -245,10 +246,16 @@ func (t *geniexTile) currentsVC(dst, v *linalg.Dense, vc *core.VContext) error {
 // SolverHealth aggregates circuit-solver outcomes across every tile
 // and batch a Circuit model executes. Share one collector between the
 // model and the reporting layer to surface solver-health counters in
-// experiment output. Safe for concurrent use.
+// experiment output. Safe for concurrent use: each field is an obs
+// counter, so a snapshot taken while batches are in flight is
+// per-field consistent (each count is exact) but not cross-field
+// consistent — a concurrent record may be half folded. These counters
+// always count, independent of obs.Enabled, because experiment reports
+// depend on them.
 type SolverHealth struct {
-	mu sync.Mutex
-	c  SolverHealthCounts
+	batches, items                          obs.Counter
+	recovered, retried, failed, unconverged obs.Counter
+	luFallbacks, cgBreakdowns               obs.Counter
 }
 
 // SolverHealthCounts is a snapshot of the collector.
@@ -262,23 +269,45 @@ type SolverHealthCounts struct {
 }
 
 func (h *SolverHealth) record(rep *xbar.BatchReport) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.c.Batches++
-	h.c.Items += int64(len(rep.Outcomes))
-	h.c.Recovered += int64(rep.Recovered)
-	h.c.Retried += int64(rep.Retried)
-	h.c.Failed += int64(rep.Failed)
-	h.c.Unconverged += int64(rep.Unconverged)
-	h.c.LUFallbacks += int64(rep.LUFallbacks)
-	h.c.CGBreakdowns += int64(rep.CGBreakdowns)
+	h.batches.Inc()
+	h.items.Add(int64(len(rep.Outcomes)))
+	h.recovered.Add(int64(rep.Recovered))
+	h.retried.Add(int64(rep.Retried))
+	h.failed.Add(int64(rep.Failed))
+	h.unconverged.Add(int64(rep.Unconverged))
+	h.luFallbacks.Add(int64(rep.LUFallbacks))
+	h.cgBreakdowns.Add(int64(rep.CGBreakdowns))
 }
 
-// Counts returns a snapshot of the counters.
+// Counts returns a snapshot of the counters. It is read-only: reading
+// never clears; use Reset to clear.
 func (h *SolverHealth) Counts() SolverHealthCounts {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.c
+	return SolverHealthCounts{
+		Batches:      h.batches.Load(),
+		Items:        h.items.Load(),
+		Recovered:    h.recovered.Load(),
+		Retried:      h.retried.Load(),
+		Failed:       h.failed.Load(),
+		Unconverged:  h.unconverged.Load(),
+		LUFallbacks:  h.luFallbacks.Load(),
+		CGBreakdowns: h.cgBreakdowns.Load(),
+	}
+}
+
+// Reset atomically clears the counters and returns the counts it
+// cleared, matching the repo-wide snapshot-and-clear reset convention
+// (see Matrix.ResetStats).
+func (h *SolverHealth) Reset() SolverHealthCounts {
+	return SolverHealthCounts{
+		Batches:      h.batches.Swap(),
+		Items:        h.items.Swap(),
+		Recovered:    h.recovered.Swap(),
+		Retried:      h.retried.Swap(),
+		Failed:       h.failed.Swap(),
+		Unconverged:  h.unconverged.Swap(),
+		LUFallbacks:  h.luFallbacks.Swap(),
+		CGBreakdowns: h.cgBreakdowns.Swap(),
+	}
 }
 
 // String summarizes the counters.
@@ -345,6 +374,9 @@ func (t circuitTile) CurrentsInto(dst, v *linalg.Dense) error {
 	}
 	if t.health != nil {
 		t.health.record(rep)
+	}
+	if t.degraded && rep.Failed > 0 && obs.Enabled() {
+		mDegradedItems.Add(int64(rep.Failed))
 	}
 	if !t.degraded {
 		if rep.Failed > 0 {

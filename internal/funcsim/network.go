@@ -5,6 +5,7 @@ import (
 
 	"geniex/internal/linalg"
 	"geniex/internal/nn"
+	"geniex/internal/obs"
 )
 
 // Sim is a trained network lowered onto the crossbar architecture:
@@ -15,6 +16,11 @@ import (
 type Sim struct {
 	eng    *Engine
 	layers []simLayer
+
+	// spanNames holds one precomputed trace-span name per layer, built
+	// once at lowering time so Forward records spans without formatting
+	// (and therefore without allocating) on the hot path.
+	spanNames []string
 }
 
 type simLayer interface {
@@ -32,7 +38,31 @@ func Lower(net *nn.Sequential, eng *Engine) (*Sim, error) {
 	if err := s.lowerInto(net); err != nil {
 		return nil, err
 	}
+	s.initSpanNames()
 	return s, nil
+}
+
+// initSpanNames precomputes per-layer trace-span names (recursing into
+// residual bodies) after lowering has settled the layer list.
+func (s *Sim) initSpanNames() {
+	s.spanNames = make([]string, len(s.layers))
+	for i, l := range s.layers {
+		var kind string
+		switch r := l.(type) {
+		case *simConv:
+			kind = "conv"
+		case *simLinear:
+			kind = "linear"
+		case *simResidual:
+			kind = "residual"
+			r.body.initSpanNames()
+		case *simAffine:
+			kind = "affine"
+		default:
+			kind = "digital"
+		}
+		s.spanNames[i] = fmt.Sprintf("funcsim.layer.%02d.%s", i, kind)
+	}
 }
 
 func (s *Sim) lowerInto(net *nn.Sequential) error {
@@ -142,14 +172,24 @@ func (s *Sim) lowerLinear(l *nn.Linear, bn *nn.BatchNorm) (*simLinear, error) {
 	return &simLinear{mat: lm, bias: bias}, nil
 }
 
-// Forward runs a batch through the lowered network.
+// Forward runs a batch through the lowered network. Per-layer and
+// whole-pass timings land in the funcsim.forward.* histograms, and each
+// layer emits a trace span named at lowering time (residual bodies are
+// Sims themselves, so their layers and pass time are recorded too).
 func (s *Sim) Forward(x *linalg.Dense) (*linalg.Dense, error) {
+	start := obs.Now()
 	var err error
-	for _, l := range s.layers {
+	for i, l := range s.layers {
+		layerStart := obs.Now()
 		if x, err = l.forward(x); err != nil {
 			return nil, err
 		}
+		mLayerLatency.ObserveSince(layerStart)
+		if i < len(s.spanNames) {
+			obs.RecordSpan(s.spanNames[i], layerStart)
+		}
 	}
+	mForwardLatency.ObserveSince(start)
 	return x, nil
 }
 

@@ -1,0 +1,41 @@
+package funcsim
+
+import "geniex/internal/obs"
+
+// Metric handles for the MVM tile pipeline, registered once in the
+// process-wide obs registry. The full catalog is documented in
+// DESIGN.md §7.
+var (
+	mMVMCalls       = obs.NewCounter("funcsim.mvm.calls")
+	mMVMLatency     = obs.NewHistogram("funcsim.mvm.latency_seconds", obs.LatencyBuckets)
+	mTileLatency    = obs.NewHistogram("funcsim.tile.latency_seconds", obs.LatencyBuckets)
+	mQueueDepth     = obs.NewGauge("funcsim.pool.queue_depth")
+	mActiveWorkers  = obs.NewGauge("funcsim.pool.active_workers")
+	mFreelistHits   = obs.NewCounter("funcsim.run.freelist_hits")
+	mFreelistMisses = obs.NewCounter("funcsim.run.freelist_misses")
+	mDegradedItems  = obs.NewCounter("funcsim.circuit.degraded_items")
+	mLayerLatency   = obs.NewHistogram("funcsim.forward.layer_seconds", obs.LatencyBuckets)
+	mForwardLatency = obs.NewHistogram("funcsim.forward.latency_seconds", obs.LatencyBuckets)
+
+	// Process-wide mirrors of the per-Matrix hardware-event counters:
+	// every completed MVM folds its per-call Stats here as well as into
+	// its matrix, so a metrics snapshot sees total architectural work
+	// without walking matrices.
+	gCrossbarOps    = obs.NewCounter("funcsim.mvm.crossbar_ops")
+	gADCConversions = obs.NewCounter("funcsim.mvm.adc_conversions")
+	gShiftAdds      = obs.NewCounter("funcsim.mvm.shift_adds")
+	gAccOps         = obs.NewCounter("funcsim.mvm.acc_ops")
+	gMVMRows        = obs.NewCounter("funcsim.mvm.rows")
+	gSkippedPasses  = obs.NewCounter("funcsim.mvm.skipped_passes")
+)
+
+// recordMVM folds one completed MVM's event counts into the global
+// registry. Callers gate on obs.Enabled.
+func recordMVM(total Stats) {
+	gCrossbarOps.Add(total.CrossbarOps)
+	gADCConversions.Add(total.ADCConversions)
+	gShiftAdds.Add(total.ShiftAdds)
+	gAccOps.Add(total.AccOps)
+	gMVMRows.Add(total.MVMRows)
+	gSkippedPasses.Add(total.SkippedPasses)
+}

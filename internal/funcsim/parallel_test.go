@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"geniex/internal/linalg"
+	"geniex/internal/obs"
 	"geniex/internal/xbar"
 )
 
@@ -216,36 +217,42 @@ func TestGENIExSharedVContextMatchesDirect(t *testing.T) {
 
 // Steady-state ideal-model MVMInto must allocate nothing once the
 // matrix's run pool is warm — in serial mode and through the worker
-// pool.
+// pool, with metrics enabled and disabled (the obs instrumentation's
+// cost contract: no metric op allocates in either state).
 func TestIdealMVMIntoSteadyStateAllocs(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	for _, workers := range []int{1, 0} {
-		cfg := exactConfig(8, 8)
-		cfg.Workers = workers
-		eng, err := NewEngine(cfg, Ideal{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		w, x := testWorkload(68, 20, 12, 4)
-		mat, err := eng.Lower(w)
-		if err != nil {
-			t.Fatal(err)
-		}
-		dst := linalg.NewDense(x.Rows, mat.Out())
-		for i := 0; i < 5; i++ { // warm the run pool and the worker pool
-			if err := mat.MVMInto(dst, x); err != nil {
+	for _, enabled := range []bool{true, false} {
+		prev := obs.SetEnabled(enabled)
+		for _, workers := range []int{1, 0} {
+			cfg := exactConfig(8, 8)
+			cfg.Workers = workers
+			eng, err := NewEngine(cfg, Ideal{})
+			if err != nil {
 				t.Fatal(err)
 			}
-		}
-		allocs := testing.AllocsPerRun(20, func() {
-			if err := mat.MVMInto(dst, x); err != nil {
+			w, x := testWorkload(68, 20, 12, 4)
+			mat, err := eng.Lower(w)
+			if err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs != 0 {
-			t.Errorf("workers=%d: steady-state MVMInto allocates %.1f objects per call, want 0", workers, allocs)
+			dst := linalg.NewDense(x.Rows, mat.Out())
+			for i := 0; i < 5; i++ { // warm the run pool and the worker pool
+				if err := mat.MVMInto(dst, x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := mat.MVMInto(dst, x); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("obs=%v workers=%d: steady-state MVMInto allocates %.1f objects per call, want 0",
+					enabled, workers, allocs)
+			}
 		}
+		obs.SetEnabled(prev)
 	}
 }

@@ -2,7 +2,8 @@ package funcsim
 
 import (
 	"fmt"
-	"sync/atomic"
+
+	"geniex/internal/obs"
 )
 
 // Stats counts the hardware events a lowered network generates. The
@@ -46,13 +47,15 @@ func (s Stats) String() string {
 		s.CrossbarOps, s.ADCConversions, s.ShiftAdds, s.AccOps, s.MVMRows, s.SkippedPasses)
 }
 
-// matrixStats is the engine-internal atomic form of Stats: MVMs run
-// tile tasks on many goroutines and may themselves execute
-// concurrently, so the shared counters are updated with atomics and
-// read as a snapshot. The parallel pipeline folds each task's local
-// Stats once per MVM, so the atomic traffic is per-call, not per-op.
+// matrixStats is the engine-internal form of Stats, built on the obs
+// counter primitive: MVMs run tile tasks on many goroutines and may
+// themselves execute concurrently, so the shared counters are atomic
+// and read as a snapshot. The parallel pipeline folds each task's
+// local Stats once per MVM, so the atomic traffic is per-call, not
+// per-op. These counters are per-Matrix (unregistered); MVMInto also
+// mirrors every fold into the process-wide registry (see obs.go).
 type matrixStats struct {
-	crossbarOps, adcConversions, shiftAdds, accOps, mvmRows, skippedPasses atomic.Int64
+	crossbarOps, adcConversions, shiftAdds, accOps, mvmRows, skippedPasses obs.Counter
 }
 
 func (s *matrixStats) add(d Stats) {
@@ -75,24 +78,31 @@ func (s *matrixStats) snapshot() Stats {
 	}
 }
 
-func (s *matrixStats) reset() {
-	s.crossbarOps.Store(0)
-	s.adcConversions.Store(0)
-	s.shiftAdds.Store(0)
-	s.accOps.Store(0)
-	s.mvmRows.Store(0)
-	s.skippedPasses.Store(0)
+func (s *matrixStats) swap() Stats {
+	return Stats{
+		CrossbarOps:    s.crossbarOps.Swap(),
+		ADCConversions: s.adcConversions.Swap(),
+		ShiftAdds:      s.shiftAdds.Swap(),
+		AccOps:         s.accOps.Swap(),
+		MVMRows:        s.mvmRows.Swap(),
+		SkippedPasses:  s.skippedPasses.Swap(),
+	}
 }
 
 // Stats returns a consistent snapshot of the counters accumulated by
-// this matrix since creation (or the last ResetStats). Counters are
-// folded once per completed MVM, so a snapshot taken while MVMs are in
-// flight reflects only finished calls — it never shows a torn,
-// partially merged update.
+// this matrix since creation (or the last ResetStats). It is
+// read-only: reading never clears. Counters are folded once per
+// completed MVM, so a snapshot taken while MVMs are in flight reflects
+// only finished calls — it never shows a torn, partially merged
+// update.
 func (m *Matrix) Stats() Stats { return m.stats.snapshot() }
 
-// ResetStats clears the matrix's counters.
-func (m *Matrix) ResetStats() { m.stats.reset() }
+// ResetStats atomically clears the matrix's counters and returns the
+// counts it cleared — the repo-wide reset convention (obs.Registry,
+// SolverHealth): reads snapshot, Reset* swaps-and-returns. It does not
+// touch the process-wide registry mirrors; those are cleared only by
+// an explicit obs reset.
+func (m *Matrix) ResetStats() Stats { return m.stats.swap() }
 
 // Stats aggregates the counters of every lowered MVM layer in the
 // network.
@@ -111,18 +121,22 @@ func (s *Sim) Stats() Stats {
 	return total
 }
 
-// ResetStats clears every lowered layer's counters.
-func (s *Sim) ResetStats() {
+// ResetStats atomically clears every lowered layer's counters and
+// returns the aggregate counts it cleared, matching the repo-wide
+// snapshot-and-clear reset convention (see Matrix.ResetStats).
+func (s *Sim) ResetStats() Stats {
+	var total Stats
 	for _, l := range s.layers {
 		switch v := l.(type) {
 		case *simConv:
-			v.mat.ResetStats()
+			total.Add(v.mat.ResetStats())
 		case *simLinear:
-			v.mat.ResetStats()
+			total.Add(v.mat.ResetStats())
 		case *simResidual:
-			v.body.ResetStats()
+			total.Add(v.body.ResetStats())
 		}
 	}
+	return total
 }
 
 // EnergyModel holds per-event energy and latency constants for the

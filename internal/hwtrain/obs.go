@@ -1,0 +1,14 @@
+package hwtrain
+
+import "geniex/internal/obs"
+
+// Metric handles for hardware-aware fine-tuning, registered once in
+// the process-wide obs registry. The full catalog is documented in
+// DESIGN.md §7.
+var (
+	mSteps         = obs.NewCounter("hwtrain.steps")
+	mStepLatency   = obs.NewHistogram("hwtrain.step.latency_seconds", obs.LatencyBuckets)
+	mEpochLatency  = obs.NewHistogram("hwtrain.epoch.latency_seconds", obs.LatencyBuckets)
+	mRelowers      = obs.NewCounter("hwtrain.relowers")
+	mPendingErrors = obs.NewCounter("hwtrain.pending_errors")
+)

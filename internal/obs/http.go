@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler that serves the registry snapshot.
+// Every path returns the JSON form ("?format=text" switches to the
+// sorted text lines), so it works both as a standalone endpoint and
+// mounted under a path like /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = r.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Serve starts an HTTP server exposing the registry on addr and
+// returns the bound address (useful with ":0"). The listener runs on a
+// background goroutine until the process exits; Serve is meant for the
+// opt-in -metrics-addr flag of the CLIs, not for managed servers.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

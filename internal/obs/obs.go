@@ -1,0 +1,171 @@
+// Package obs is the repository's unified observability layer: a
+// dependency-free metrics-and-tracing registry shared by the circuit
+// solver (package xbar), the functional simulator (package funcsim)
+// and hardware-aware retraining (package hwtrain).
+//
+// # Model
+//
+// Three metric kinds cover every instrumentation site in the repo:
+//
+//   - Counter: a monotonically increasing atomic int64 (events).
+//   - Gauge: an atomic int64 holding the latest value of a level
+//     (queue depth, in-flight workers).
+//   - Histogram: fixed upper-bound buckets of atomic counts plus an
+//     exact count and sum, for value distributions (Newton iterations)
+//     and, through ObserveSince, monotonic-clock latencies.
+//
+// Metrics live in a Registry under stable dotted names (the catalog is
+// documented in DESIGN.md §7). The package-level functions operate on
+// the Default registry, which is what all in-repo instrumentation
+// uses; tests that need isolation construct their own Registry.
+//
+// In addition to metrics, a Registry keeps a fixed-size ring buffer of
+// span events (name, start, duration) — a lightweight trace of coarse
+// operations (per-layer forwards, batch solves) that the snapshot
+// exposes without the overhead of full tracing. StartRegion bridges
+// the same call sites into runtime/trace regions when an execution
+// trace is being captured.
+//
+// # Cost contract
+//
+// Instrumentation is built to sit inside the steady-state MVM loop:
+//
+//   - No metric operation allocates, enabled or disabled. Counters,
+//     gauges and histogram observations are a handful of atomic ops;
+//     span events write into preallocated ring slots.
+//   - The global Enabled flag gates the operations that are not free —
+//     reading the monotonic clock (Now returns the zero Time when
+//     disabled, and ObserveSince/RecordSpan treat a zero start as
+//     "skip"), span recording, and runtime/trace regions.
+//   - Handles are resolved once, at package init (registration takes a
+//     lock; the hot path never does).
+//
+// # Reset semantics
+//
+// Reads and resets are distinct everywhere: Snapshot (and every Load)
+// is read-only and never clears, while Reset atomically swaps counters
+// to zero and returns the snapshot of what it cleared. The same
+// convention is mirrored by the per-object stats accessors built on
+// this package (funcsim.Matrix.Stats/ResetStats, SolverHealth
+// Counts/Reset).
+//
+// # Export
+//
+// Snapshot returns a deterministic point-in-time view; WriteJSON and
+// WriteText serialize it. Handler/Serve expose the JSON form over
+// HTTP, opted into by the -metrics-addr flag of cmd/funcsim-run and
+// cmd/experiments.
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	rtrace "runtime/trace"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global instrumentation switch. It defaults to on:
+// metric updates are allocation-free atomics, so the steady-state cost
+// of leaving them enabled is a few nanoseconds per event. Disabling
+// additionally skips clock reads and span recording.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether instrumentation is globally enabled. The
+// check is a single atomic load, cheap enough for any hot path.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips the global instrumentation switch and returns the
+// previous state. Metric values are retained across disable/enable.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Now returns the current time when instrumentation is enabled and the
+// zero Time when it is disabled. Pair it with Histogram.ObserveSince
+// or RecordSpan, both of which treat a zero start as "disabled, skip":
+//
+//	start := obs.Now()
+//	... work ...
+//	latencyHist.ObserveSince(start)
+func Now() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Default is the process-wide registry every in-repo instrumentation
+// site registers into.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// NewCounter returns (creating if needed) the named counter of the
+// Default registry. Call it once at package init and keep the handle;
+// registration takes a lock.
+func NewCounter(name string) *Counter { return std.Counter(name) }
+
+// NewGauge returns (creating if needed) the named gauge of the
+// Default registry.
+func NewGauge(name string) *Gauge { return std.Gauge(name) }
+
+// NewHistogram returns (creating if needed) the named histogram of the
+// Default registry.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	return std.Histogram(name, bounds)
+}
+
+// RecordSpan records a completed span into the Default registry's
+// trace ring. start should come from Now; a zero start (instrumentation
+// disabled at span start) is skipped.
+func RecordSpan(name string, start time.Time) { std.RecordSpan(name, start) }
+
+// Snapshot returns a read-only, deterministic view of the Default
+// registry. It never clears anything; use Reset to clear.
+func Snapshot() SnapshotData { return std.Snapshot() }
+
+// Reset atomically clears every metric and the trace ring of the
+// Default registry and returns the snapshot of the cleared state.
+func Reset() SnapshotData { return std.Reset() }
+
+// WriteJSON writes the Default registry's snapshot as JSON.
+func WriteJSON(w io.Writer) error { return std.WriteJSON(w) }
+
+// WriteText writes the Default registry's snapshot as sorted
+// name-value text lines.
+func WriteText(w io.Writer) error { return std.WriteText(w) }
+
+// Handler returns an http.Handler serving the Default registry's JSON
+// snapshot.
+func Handler() http.Handler { return std.Handler() }
+
+// Serve exposes the Default registry on addr (e.g. "127.0.0.1:9090";
+// port 0 picks a free port) and returns the bound address. The server
+// runs until the process exits.
+func Serve(addr string) (string, error) { return std.Serve(addr) }
+
+// Region is a started runtime/trace region (possibly inert). The zero
+// Region is inert; End on it is a no-op.
+type Region struct{ r *rtrace.Region }
+
+// StartRegion opens a runtime/trace region named name when both obs
+// instrumentation and runtime tracing are enabled; otherwise it
+// returns an inert Region. The disabled path is two atomic loads and
+// no allocations, so the hook can sit inside the steady-state MVM
+// loop.
+func StartRegion(name string) Region {
+	if !enabled.Load() || !rtrace.IsEnabled() {
+		return Region{}
+	}
+	return Region{r: rtrace.StartRegion(context.Background(), name)}
+}
+
+// End closes the region. Safe on the zero Region.
+func (r Region) End() {
+	if r.r != nil {
+		r.r.End()
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry holds named metrics and the span-event trace ring. Metric
+// registration (Counter/Gauge/Histogram) is get-or-create and takes a
+// lock; instrumented code registers once at init and keeps the
+// handles, so the hot path never touches the registry itself.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	trace      eventRing
+}
+
+// NewRegistry creates an empty registry. Most code uses Default;
+// separate registries exist for tests that need isolation.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Re-registering an existing name returns
+// the existing histogram; the bounds must match (same length and
+// values) or Histogram panics — two call sites silently feeding
+// differently-shaped buckets would corrupt the distribution.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, have %d",
+			name, len(bounds), len(h.bounds)))
+	}
+	for i := range bounds {
+		if h.bounds[i] != bounds[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bound[%d]", name, i))
+		}
+	}
+	return h
+}
+
+// HistogramSnapshot is the exported state of one histogram. Counts has
+// one entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// SnapshotData is a deterministic point-in-time view of a registry:
+// identical registry state always yields an identical snapshot (and
+// identical JSON — map keys marshal sorted).
+type SnapshotData struct {
+	Enabled    bool                         `json:"enabled"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Spans lists the retained trace events, oldest first.
+	Spans []Event `json:"spans,omitempty"`
+	// SpansDropped counts span events that fell off the ring.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot returns a read-only view of the registry. Metrics keep
+// counting; nothing is cleared (see Reset).
+func (r *Registry) Snapshot() SnapshotData { return r.capture(false) }
+
+// Reset atomically clears every counter, gauge, histogram and the
+// trace ring, returning the snapshot of the values it cleared. Reset
+// is the only operation that zeroes registry state; Snapshot and the
+// individual Load accessors never do.
+func (r *Registry) Reset() SnapshotData { return r.capture(true) }
+
+func (r *Registry) capture(clear bool) SnapshotData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := SnapshotData{
+		Enabled:    Enabled(),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		if clear {
+			s.Counters[name] = c.Swap()
+		} else {
+			s.Counters[name] = c.Load()
+		}
+	}
+	for name, g := range r.gauges {
+		if clear {
+			s.Gauges[name] = g.v.Swap(0)
+		} else {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot(clear)
+	}
+	s.Spans, s.SpansDropped = r.trace.snapshot(clear)
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the registry snapshot as sorted "name value" lines,
+// histograms as "name count=N sum=S mean=M".
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6g mean=%.6g", name, h.Count, h.Sum, h.Mean()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// traceRingSize is the number of span events a registry retains. Spans
+// instrument coarse operations (layer forwards, batch solves, training
+// epochs), so a small ring keeps the recent execution history without
+// growing with run length.
+const traceRingSize = 256
+
+// Event is one completed span in the trace ring.
+type Event struct {
+	// Name identifies the operation (static strings at call sites).
+	Name string `json:"name"`
+	// Start is the span start in Unix nanoseconds.
+	Start int64 `json:"start_unix_nano"`
+	// Duration is the span length in nanoseconds.
+	Duration int64 `json:"duration_nano"`
+}
+
+// eventRing is a fixed-capacity overwrite-oldest span buffer. Slots
+// are preallocated on first use; recording into a warm ring does not
+// allocate (span names are static strings, so storing one copies a
+// two-word header).
+type eventRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int   // slot the next event lands in
+	total   int64 // events ever recorded
+	dropped int64 // events overwritten
+}
+
+func (r *eventRing) record(name string, start time.Time, dur time.Duration) {
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]Event, traceRingSize)
+	}
+	if r.total >= int64(len(r.buf)) {
+		r.dropped++
+	}
+	r.buf[r.next] = Event{Name: name, Start: start.UnixNano(), Duration: int64(dur)}
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first plus the dropped
+// count; clear empties the ring.
+func (r *eventRing) snapshot(clear bool) ([]Event, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	if n > int64(len(r.buf)) {
+		n = int64(len(r.buf))
+	}
+	var out []Event
+	if n > 0 {
+		out = make([]Event, 0, n)
+		start := (r.next - int(n) + len(r.buf)) % len(r.buf)
+		for i := 0; i < int(n); i++ {
+			out = append(out, r.buf[(start+i)%len(r.buf)])
+		}
+	}
+	dropped := r.dropped
+	if clear {
+		r.next, r.total, r.dropped = 0, 0, 0
+	}
+	return out, dropped
+}
+
+// RecordSpan records a completed span (started at start, ending now)
+// into the registry's trace ring. A zero start — what Now returns when
+// instrumentation is disabled — is skipped, as is recording while
+// disabled.
+func (r *Registry) RecordSpan(name string, start time.Time) {
+	if start.IsZero() || !enabled.Load() {
+		return
+	}
+	r.trace.record(name, start, time.Since(start))
+}
+
+// Spans returns the retained span events, oldest first.
+func (r *Registry) Spans() []Event {
+	out, _ := r.trace.snapshot(false)
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"geniex/internal/linalg"
+	"geniex/internal/obs"
 )
 
 // ItemStatus classifies the outcome of one batch item.
@@ -280,8 +281,11 @@ func (s *BatchSolver) release(xb *Crossbar) {
 	s.mu.Unlock()
 }
 
-// SolveReport solves a batch, allocating the output matrix. See
-// SolveReportInto.
+// SolveReport is the allocating form of SolveReportInto: it allocates
+// the batch×Cols output matrix and delegates. This follows the
+// repo-wide result-buffer idiom — a method X allocates its result and
+// delegates to XInto, which writes into a caller-owned buffer and is
+// the one to use in steady-state loops.
 func (s *BatchSolver) SolveReport(vs *linalg.Dense) (*linalg.Dense, *BatchReport, error) {
 	out := linalg.NewDense(vs.Rows, s.cfg.Cols)
 	rep, err := s.SolveReportInto(out, vs)
@@ -306,6 +310,9 @@ func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*Bat
 	if out.Rows != vs.Rows || out.Cols != cfg.Cols {
 		return nil, fmt.Errorf("xbar: BatchSolve output is %dx%d, want %dx%d", out.Rows, out.Cols, vs.Rows, cfg.Cols)
 	}
+	start := obs.Now()
+	region := obs.StartRegion("xbar.batch")
+	defer region.End()
 	rep := &BatchReport{Outcomes: make([]ItemOutcome, vs.Rows)}
 	workers := s.workers
 	if workers <= 0 {
@@ -374,6 +381,9 @@ func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*Bat
 	}
 	for _, o := range rep.Outcomes {
 		rep.tally(o)
+	}
+	if obs.Enabled() {
+		recordBatch(rep, start)
 	}
 	return rep, nil
 }

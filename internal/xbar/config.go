@@ -142,6 +142,54 @@ func DefaultConfig() Config {
 	}
 }
 
+// Option adjusts a Config under construction by NewConfig.
+type Option func(*Config)
+
+// WithRon sets the ON resistance (ohms).
+func WithRon(ron float64) Option { return func(c *Config) { c.Ron = ron } }
+
+// WithOnOffRatio sets Roff/Ron.
+func WithOnOffRatio(r float64) Option { return func(c *Config) { c.OnOffRatio = r } }
+
+// WithVsupply sets the maximum word-line voltage (volts).
+func WithVsupply(v float64) Option { return func(c *Config) { c.Vsupply = v } }
+
+// WithParasitics sets the source, sink and per-cell wire resistances
+// (ohms).
+func WithParasitics(rsource, rsink, rwire float64) Option {
+	return func(c *Config) { c.Rsource, c.Rsink, c.Rwire = rsource, rsink, rwire }
+}
+
+// WithLinearDevices replaces the non-linear device laws with linear
+// resistors (the analytical-baseline netlist).
+func WithLinearDevices() Option { return func(c *Config) { c.NonLinear = false } }
+
+// WithPolicy sets the solver's non-convergence policy.
+func WithPolicy(p SolverPolicy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithBatchWorkers bounds the goroutines a batch solve fans out
+// across (0 = GOMAXPROCS, 1 = serial).
+func WithBatchWorkers(n int) Option { return func(c *Config) { c.BatchWorkers = n } }
+
+// NewConfig builds a validated design point: the paper's nominal
+// parameters (DefaultConfig) at the given dimensions, adjusted by the
+// options, checked once by Validate. Construction sites should prefer
+// it over mutating struct literals — nonsensical sizes, negative
+// worker counts and zero-value footguns surface here, at the one
+// place the configuration is assembled, instead of deep inside a
+// solve.
+func NewConfig(rows, cols int, opts ...Option) (Config, error) {
+	c := DefaultConfig()
+	c.Rows, c.Cols = rows, cols
+	for _, o := range opts {
+		o(&c)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // Validate reports whether the configuration is physically meaningful.
 func (c Config) Validate() error {
 	switch {

@@ -225,20 +225,33 @@ func (x *Crossbar) NodeVoltage(kind string, i, j int) float64 {
 	panic("xbar: unknown node kind " + kind)
 }
 
-// IdealCurrents returns the error-free MVM I_j = Σ_i V_i·G_ij.
+// IdealCurrents returns the error-free MVM I_j = Σ_i V_i·G_ij. It
+// allocates its result and delegates to IdealCurrentsInto.
 func IdealCurrents(v []float64, g *linalg.Dense) []float64 {
+	out := make([]float64, g.Cols)
+	IdealCurrentsInto(out, v, g)
+	return out
+}
+
+// IdealCurrentsInto computes the error-free MVM into dst (length
+// Cols), overwriting its contents.
+func IdealCurrentsInto(dst []float64, v []float64, g *linalg.Dense) {
 	if len(v) != g.Rows {
 		panic(fmt.Sprintf("xbar: IdealCurrents with %d inputs for %d rows", len(v), g.Rows))
 	}
-	out := make([]float64, g.Cols)
+	if len(dst) != g.Cols {
+		panic(fmt.Sprintf("xbar: IdealCurrents into %d outputs for %d cols", len(dst), g.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, vi := range v {
 		if vi == 0 {
 			continue
 		}
 		row := g.Row(i)
 		for j, gij := range row {
-			out[j] += vi * gij
+			dst[j] += vi * gij
 		}
 	}
-	return out
 }

@@ -55,17 +55,25 @@ func Ratio(ideal, nonideal []float64, cfg Config) []float64 {
 
 // ApplyRatio reconstructs non-ideal currents from ideal currents and a
 // predicted fR vector: Inonideal = Iideal/fR. Ratios at or below zero
-// (which a badly trained predictor could emit) are treated as 1.
+// (which a badly trained predictor could emit) are treated as 1. It
+// allocates its result and delegates to ApplyRatioInto.
 func ApplyRatio(ideal, fr []float64) []float64 {
 	out := make([]float64, len(ideal))
+	ApplyRatioInto(out, ideal, fr)
+	return out
+}
+
+// ApplyRatioInto reconstructs non-ideal currents into dst. dst may
+// alias fr (the update is element-wise), which lets callers reuse the
+// ratio buffer for the result.
+func ApplyRatioInto(dst, ideal, fr []float64) {
 	for j := range ideal {
 		r := fr[j]
 		if r <= 0 {
 			r = 1
 		}
-		out[j] = ideal[j] / r
+		dst[j] = ideal[j] / r
 	}
-	return out
 }
 
 // NFStats summarizes per-column NF values pooled over a set of solves;

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"geniex/internal/linalg"
+	"geniex/internal/obs"
 )
 
 const (
@@ -127,8 +128,9 @@ func (x *Crossbar) Solve(v []float64) (*Solution, error) {
 	return x.solve(v, x.cfg.Policy)
 }
 
-// solve runs the recovery ladder under an explicit policy (BatchSolve
-// retries override the configured one).
+// solve validates the drive vector, runs the recovery ladder under an
+// explicit policy (BatchSolve retries override the configured one) and
+// records the solve in the obs registry.
 func (x *Crossbar) solve(v []float64, policy SolverPolicy) (*Solution, error) {
 	cfg := x.cfg
 	if len(v) != cfg.Rows {
@@ -139,7 +141,20 @@ func (x *Crossbar) solve(v []float64, policy SolverPolicy) (*Solution, error) {
 			return nil, fmt.Errorf("xbar: input %d voltage %g outside [0, %g]", i, vi, cfg.Vsupply)
 		}
 	}
+	start := obs.Now()
+	region := obs.StartRegion("xbar.solve")
+	sol, err := x.runLadder(v, policy)
+	region.End()
+	if obs.Enabled() {
+		recordSolve(sol, err, start)
+	}
+	return sol, err
+}
 
+// runLadder is the uninstrumented recovery ladder: plain Newton →
+// damped Newton → source stepping, with best-effort reporting under
+// PolicyBestEffort.
+func (x *Crossbar) runLadder(v []float64, policy SolverPolicy) (*Solution, error) {
 	sol := &Solution{}
 	var attempts []string
 	var cause error

@@ -1,0 +1,157 @@
+// Command obssmoke is the end-to-end gate for the metrics pipeline: it
+// launches a tiny funcsim-run with -metrics-addr on an ephemeral port,
+// scrapes the HTTP endpoint while the run executes, and asserts the
+// JSON snapshot is well-formed and contains the live instrumentation
+// the run must produce — nonzero Newton-iteration and per-tile-latency
+// histograms. It exits 0 on success and 1 with a diagnosis otherwise.
+//
+// Run it via `make obs-smoke` (check.sh includes it).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// snapshot mirrors the wire shape of obs.SnapshotData closely enough
+// to validate it. Decoding into it (with DisallowUnknownFields off)
+// checks the JSON is well-formed and the histogram schema holds.
+type snapshot struct {
+	Enabled    bool             `json:"enabled"`
+	Counters   map[string]int64 `json:"counters"`
+	Gauges     map[string]int64 `json:"gauges"`
+	Histograms map[string]struct {
+		Count  int64     `json:"count"`
+		Sum    float64   `json:"sum"`
+		Bounds []float64 `json:"bounds"`
+		Counts []int64   `json:"counts"`
+	} `json:"histograms"`
+}
+
+// required are the histograms a geniex-mode run must populate: the
+// surrogate's training data comes from circuit solves (Newton
+// iterations) and the evaluation runs the tile pipeline.
+var required = []string{
+	"xbar.solver.newton_iters",
+	"funcsim.tile.latency_seconds",
+}
+
+func main() {
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	flag.Parse()
+	if err := run(*timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: PASS")
+}
+
+func run(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	cmd := exec.Command("go", "run", "./cmd/funcsim-run",
+		"-dataset", "cifar", "-mode", "geniex", "-size", "8",
+		"-train", "40", "-test", "8", "-epochs", "1", "-channels", "4",
+		"-geniex-samples", "16", "-geniex-epochs", "4",
+		"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "45s")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting funcsim-run: %w", err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	}()
+
+	// The child prints the bound address first; everything after is
+	// ordinary run output we just echo.
+	addrCh := make(chan string, 1)
+	go func() {
+		re := regexp.MustCompile(`metrics: serving on (http://\S+)`)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if m := re.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+
+	var url string
+	select {
+	case url = <-addrCh:
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("funcsim-run never printed its metrics address")
+	}
+
+	var lastErr error
+	for time.Now().Before(deadline) {
+		snap, err := scrape(url)
+		if err == nil {
+			if missing := check(snap); len(missing) == 0 {
+				return nil
+			} else {
+				lastErr = fmt.Errorf("waiting for histograms: %s", strings.Join(missing, ", "))
+			}
+		} else {
+			lastErr = err
+		}
+		time.Sleep(2 * time.Second)
+	}
+	return fmt.Errorf("deadline exceeded; last state: %w", lastErr)
+}
+
+func scrape(url string) (*snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		return nil, fmt.Errorf("endpoint served %q, want application/json", ct)
+	}
+	var snap snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("malformed JSON snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// check returns the names of required histograms that are still
+// missing or empty, plus any schema violations.
+func check(snap *snapshot) []string {
+	var missing []string
+	for _, name := range required {
+		h, ok := snap.Histograms[name]
+		switch {
+		case !ok:
+			missing = append(missing, name+" (absent)")
+		case h.Count <= 0:
+			missing = append(missing, name+" (empty)")
+		case len(h.Counts) != len(h.Bounds)+1:
+			missing = append(missing, fmt.Sprintf("%s (schema: %d counts for %d bounds)",
+				name, len(h.Counts), len(h.Bounds)))
+		}
+	}
+	return missing
+}
