@@ -10,9 +10,9 @@ GO ?= go
 # instrumentation.
 RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs
 
-.PHONY: check vet build test race bench obs-smoke
+.PHONY: check vet build test race bench obs-smoke trace-smoke
 
-check: vet build test race obs-smoke
+check: vet build test race obs-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,17 @@ bench:
 	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem .
 
 # End-to-end metrics gate: run a tiny funcsim-run with -metrics-addr,
-# scrape the endpoint, and assert the JSON snapshot holds live solver
-# and tile histograms.
+# the fidelity probe, and trace export, scrape the endpoint, and assert
+# the JSON snapshot holds live solver, tile, and probe-divergence
+# histograms plus a valid Chrome trace file.
 obs-smoke:
 	$(GO) run ./scripts/obssmoke
+
+# End-to-end trace gate: a short probed funcsim-run emits a Chrome
+# trace file, which tracecheck validates (parses, >= 1 event, sane
+# fields).
+trace-smoke:
+	$(GO) run ./cmd/funcsim-run -mode ideal -size 8 -train 24 -test 6 \
+		-epochs 1 -channels 4 -probe-rate 8 -trace-out trace_smoke.json
+	$(GO) run ./scripts/tracecheck trace_smoke.json
+	rm -f trace_smoke.json

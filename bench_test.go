@@ -223,6 +223,41 @@ func BenchmarkMVMIdeal(b *testing.B) {
 	}
 }
 
+// BenchmarkMVMIdealProbed measures the ideal pipeline with the online
+// fidelity probe sampling 1 in 16 tile tasks. Throughput should sit
+// within a few percent of BenchmarkMVMIdeal/parallel: the sampling
+// decision is one atomic add and the shadow solves run on the probe's
+// goroutine under its duty-cycle bound. The small allocs/op reading
+// here belongs to those background circuit solves (benchmem counts
+// every goroutine); the MVM path itself stays at 0 allocs/op
+// (TestProbedMVMIntoSteadyStateAllocs).
+func BenchmarkMVMIdealProbed(b *testing.B) {
+	const in, out, batch = 96, 64, 16 // 6×4 tile grid at 16×16
+	cfg := funcsim.DefaultConfig()
+	cfg.Xbar.Rows, cfg.Xbar.Cols = 16, 16
+	cfg.ProbeRate = 16
+	eng, err := funcsim.NewEngine(cfg, funcsim.Ideal{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	rng := linalg.NewRNG(3)
+	w := linalg.NewDense(in, out)
+	for i := range w.Data {
+		w.Data[i] = 2*rng.Float64() - 1
+	}
+	mat, err := eng.Lower(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := linalg.NewDense(batch, in)
+	for i := range x.Data {
+		x.Data[i] = 2*rng.Float64() - 1
+	}
+	dst := linalg.NewDense(batch, out)
+	runMVM(b, mat, dst, x)
+}
+
 // BenchmarkMVMGENIEx measures the surrogate-model pipeline with the
 // shared per-block voltage context and pooled prediction workspaces.
 func BenchmarkMVMGENIEx(b *testing.B) {

@@ -9,3 +9,7 @@ go build ./...
 go test ./...
 go test -race -short ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs
 go run ./scripts/obssmoke
+go run ./cmd/funcsim-run -mode ideal -size 8 -train 24 -test 6 \
+	-epochs 1 -channels 4 -probe-rate 8 -trace-out trace_smoke.json
+go run ./scripts/tracecheck trace_smoke.json
+rm -f trace_smoke.json

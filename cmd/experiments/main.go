@@ -42,11 +42,13 @@ func run() error {
 		seed   = flag.Uint64("seed", 1, "master random seed")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the obs metrics snapshot over HTTP on this address (e.g. 127.0.0.1:0); empty disables")
+		withPprof   = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the metrics address")
+		traceOut    = flag.String("trace-out", "", "write recorded spans as Chrome trace-event JSON to this file after the run")
 	)
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		addr, err := obs.Serve(*metricsAddr)
+		addr, err := obs.Serve(*metricsAddr, *withPprof)
 		if err != nil {
 			return err
 		}
@@ -130,6 +132,20 @@ func run() error {
 				return err
 			}
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		n, err := obs.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (%d events)\n", *traceOut, n)
 	}
 	return nil
 }

@@ -59,11 +59,14 @@ func run() error {
 
 		metricsAddr   = flag.String("metrics-addr", "", "serve the obs metrics snapshot over HTTP on this address (e.g. 127.0.0.1:0); empty disables")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run finishes")
+		withPprof     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the metrics address")
+		probeRate     = flag.Int("probe-rate", 0, "sample 1 in n tile MVMs through the circuit solver to measure live emulator fidelity (0 disables)")
+		traceOut      = flag.String("trace-out", "", "write recorded spans as Chrome trace-event JSON to this file after the run")
 	)
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		addr, err := obs.Serve(*metricsAddr)
+		addr, err := obs.Serve(*metricsAddr, *withPprof)
 		if err != nil {
 			return err
 		}
@@ -106,7 +109,8 @@ func run() error {
 	simCfg, err := funcsim.NewConfig(xcfg,
 		funcsim.WithFormats(fxp, fxp),
 		funcsim.WithStreamBits(*streams), funcsim.WithSliceBits(*slices),
-		funcsim.WithADCBits(*adc), funcsim.WithWorkers(*workers))
+		funcsim.WithADCBits(*adc), funcsim.WithWorkers(*workers),
+		funcsim.WithProbeRate(*probeRate))
 	if err != nil {
 		return err
 	}
@@ -181,6 +185,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	sim, err := funcsim.Lower(net, eng)
 	if err != nil {
 		return err
@@ -195,6 +200,24 @@ func run() error {
 	fmt.Printf("crossbar accuracy: %.2f%%  (degradation %.2f%%)\n", 100*acc, 100*(floatAcc-acc))
 	if health != nil {
 		fmt.Println(health.Counts().String())
+	}
+	if p := eng.Probe(); p != nil {
+		p.Drain(10 * time.Second)
+		fmt.Println(p.Stats().String())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		n, err := obs.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (%d events)\n", *traceOut, n)
 	}
 	return nil
 }

@@ -29,6 +29,10 @@ func WithAcc(acc quant.Acc) Option { return func(c *Config) { c.Acc = acc } }
 // (0 = shared pool at full width, 1 = serial; see Config.Workers).
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
+// WithProbeRate enables the online fidelity probe at a 1-in-n tile
+// sampling rate (0 disables; see Config.ProbeRate and Probe).
+func WithProbeRate(n int) Option { return func(c *Config) { c.ProbeRate = n } }
+
 // NewConfig builds a validated architecture: the paper's nominal
 // parameters (DefaultConfig) on the given crossbar design point,
 // adjusted by the options, checked once by Validate — including the

@@ -37,6 +37,12 @@ type Config struct {
 	// always serial and in fixed tile order, so MVM results are
 	// bit-identical at every setting.
 	Workers int
+	// ProbeRate enables the online fidelity probe: every ProbeRate-th
+	// tile task samples its inputs and shadow-solves them through the
+	// circuit solver on a background goroutine (see Probe). 0 (the
+	// default) disables probing entirely — the hot path then pays one
+	// nil check per tile task and keeps no conductance copies.
+	ProbeRate int
 }
 
 // DefaultConfig returns the paper's nominal architecture: 16-bit
@@ -80,6 +86,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("funcsim: Workers must be non-negative, got %d", c.Workers)
 	}
+	if c.ProbeRate < 0 {
+		return fmt.Errorf("funcsim: ProbeRate must be non-negative, got %d", c.ProbeRate)
+	}
 	return nil
 }
 
@@ -109,15 +118,27 @@ type Engine struct {
 	cfg   Config
 	model Model
 	sur   *core.Model // GENIEx surrogate of the model chain, if any
+
+	// probe is the online fidelity monitor, nil unless
+	// Config.ProbeRate > 0. matrixIDs numbers lowered matrices so the
+	// probe's per-tile aggregates stay distinct across matrices.
+	probe     *Probe
+	matrixIDs int
 }
 
 // NewEngine creates an engine. The model's tile size must match
-// cfg.Xbar.
+// cfg.Xbar. With Config.ProbeRate > 0 the engine owns a fidelity
+// Probe (and its background goroutine); call Close when done with
+// such an engine.
 func NewEngine(cfg Config, model Model) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, model: model, sur: surrogateOf(model)}, nil
+	e := &Engine{cfg: cfg, model: model, sur: surrogateOf(model)}
+	if cfg.ProbeRate > 0 {
+		e.probe = newProbe(cfg.Xbar, cfg.ProbeRate, DefaultProbeQueue)
+	}
+	return e, nil
 }
 
 // Config returns the engine's architecture parameters.
@@ -126,12 +147,32 @@ func (e *Engine) Config() Config { return e.cfg }
 // ModelName reports which analog model the engine uses.
 func (e *Engine) ModelName() string { return e.model.Name() }
 
+// Probe returns the engine's fidelity probe, or nil when probing is
+// disabled.
+func (e *Engine) Probe() *Probe { return e.probe }
+
+// Close releases the engine's background resources (the probe's
+// worker goroutine). Engines without a probe need no Close; calling
+// it anyway is a no-op, and Close is idempotent.
+func (e *Engine) Close() {
+	if e.probe != nil {
+		e.probe.Close()
+	}
+}
+
 // loweredTile is one (tileRow, tileCol) block: the positive-magnitude
 // crossbars (one per weight slice) and, if the block has any negative
 // weights, the negative-magnitude crossbars.
 type loweredTile struct {
 	pos []Tile
 	neg []Tile // nil when the block is all-non-negative
+
+	// posG/negG retain the per-slice conductance matrices the tiles
+	// were programmed with — only when the engine carries a fidelity
+	// probe, which shadow-solves them. They are immutable after
+	// lowering, so the probe references them without copying.
+	posG []*linalg.Dense
+	negG []*linalg.Dense
 }
 
 // Matrix is a weight matrix lowered onto crossbar tiles, ready to
@@ -148,6 +189,11 @@ type Matrix struct {
 	// Digital back-conversion constants, fixed per design point.
 	adc       quant.ADC
 	scale, kg float64
+
+	// probe mirrors the engine's fidelity probe (nil when disabled);
+	// id is the engine-assigned ordinal used in per-tile probe keys.
+	probe *Probe
+	id    int
 
 	stats matrixStats
 
@@ -171,7 +217,10 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 		eng: e, in: in, out: out,
 		tileRows: (in + n - 1) / n,
 		tileCols: (out + mcols - 1) / mcols,
+		probe:    e.probe,
+		id:       e.matrixIDs,
 	}
+	e.matrixIDs++
 	lm.adc = quant.ADC{
 		Bits:      cfg.ADCBits,
 		FullScale: float64(n) * cfg.Xbar.Vsupply * cfg.Xbar.Gon(),
@@ -224,6 +273,12 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 					return nil, fmt.Errorf("funcsim: lowering tile (%d,%d) neg: %w", tr, tc, err)
 				}
 				lm.crossbars += kw
+			}
+			if e.probe != nil {
+				lt.posG = posG
+				if hasNeg {
+					lt.negG = negG
+				}
 			}
 		}
 	}
@@ -283,6 +338,11 @@ type mvmTask struct {
 	dot    []int64       // batch×tileCols signed shift-and-add partials
 	curr   *linalg.Dense // batch·ka × cols tile-current scratch
 	stats  Stats         // task-local counters, folded after the run
+
+	// probeArm marks this task as sampled by the fidelity probe; the
+	// first slice evaluation with a live input block offers itself and
+	// disarms.
+	probeArm bool
 }
 
 // mvmRun is the pooled per-MVM scratch state. Matrices keep finished
@@ -394,20 +454,21 @@ func (r *mvmRun) doTask(idx int) {
 		t.dot[i] = 0
 	}
 	t.stats = Stats{}
+	t.probeArm = r.m.probe != nil && r.m.probe.tick()
 	lt := &r.m.tiles[t.tr][t.tc]
-	if err := r.pass(t, lt.pos, &rb.blocks[0], 1); err != nil {
+	if err := r.pass(t, lt.pos, lt.posG, &rb.blocks[0], 1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.neg, &rb.blocks[0], -1); err != nil {
+	if err := r.pass(t, lt.neg, lt.negG, &rb.blocks[0], -1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.pos, &rb.blocks[1], -1); err != nil {
+	if err := r.pass(t, lt.pos, lt.posG, &rb.blocks[1], -1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.neg, &rb.blocks[1], 1); err != nil {
+	if err := r.pass(t, lt.neg, lt.negG, &rb.blocks[1], 1); err != nil {
 		r.setErr(err)
 		return
 	}
@@ -415,8 +476,11 @@ func (r *mvmRun) doTask(idx int) {
 
 // pass runs one differential pass (one sign of inputs against one sign
 // of weights) of a tile task: evaluate every weight slice's crossbar,
-// ADC-convert, and shift-and-add into the task's exact partial.
-func (r *mvmRun) pass(t *mvmTask, tiles []Tile, blk *inputBlock, sign int64) error {
+// ADC-convert, and shift-and-add into the task's exact partial. gs
+// holds the slices' conductance matrices when the fidelity probe is
+// active (nil otherwise); a probe-armed task offers its first live
+// slice evaluation for shadow-solving.
+func (r *mvmRun) pass(t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBlock, sign int64) error {
 	if tiles == nil || !blk.any {
 		t.stats.SkippedPasses++
 		return nil
@@ -428,6 +492,10 @@ func (r *mvmRun) pass(t *mvmTask, tiles []Tile, blk *inputBlock, sign int64) err
 	for l, tile := range tiles {
 		if err := currentsInto(tile, t.curr, blk.vb, blk.vctx); err != nil {
 			return fmt.Errorf("funcsim: tile (%d,%d) slice %d: %w", t.tr, t.tc, l, err)
+		}
+		if t.probeArm && gs != nil {
+			m.probe.offer(m.id, t.tr, t.tc, l, gs[l], blk, t.curr)
+			t.probeArm = false
 		}
 		for b := 0; b < r.batch; b++ {
 			for k := 0; k < ka; k++ {

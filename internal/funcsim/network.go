@@ -24,7 +24,7 @@ type Sim struct {
 }
 
 type simLayer interface {
-	forward(x *linalg.Dense) (*linalg.Dense, error)
+	forward(x *linalg.Dense, tid int64) (*linalg.Dense, error)
 	describe() string
 }
 
@@ -176,20 +176,30 @@ func (s *Sim) lowerLinear(l *nn.Linear, bn *nn.BatchNorm) (*simLinear, error) {
 // whole-pass timings land in the funcsim.forward.* histograms, and each
 // layer emits a trace span named at lowering time (residual bodies are
 // Sims themselves, so their layers and pass time are recorded too).
+// Every call allocates one trace ID and records all of its spans —
+// including those of nested residual bodies — under it, so a trace
+// export (obs.WriteTrace) groups the spans of one inference together.
 func (s *Sim) Forward(x *linalg.Dense) (*linalg.Dense, error) {
+	return s.forwardTID(x, obs.NextTraceID())
+}
+
+// forwardTID is Forward under an explicit trace ID; residual bodies
+// reuse their parent pass's ID.
+func (s *Sim) forwardTID(x *linalg.Dense, tid int64) (*linalg.Dense, error) {
 	start := obs.Now()
 	var err error
 	for i, l := range s.layers {
 		layerStart := obs.Now()
-		if x, err = l.forward(x); err != nil {
+		if x, err = l.forward(x, tid); err != nil {
 			return nil, err
 		}
 		mLayerLatency.ObserveSince(layerStart)
 		if i < len(s.spanNames) {
-			obs.RecordSpan(s.spanNames[i], layerStart)
+			obs.RecordSpanTID(s.spanNames[i], layerStart, tid)
 		}
 	}
 	mForwardLatency.ObserveSince(start)
+	obs.RecordSpanTID("funcsim.forward", start, tid)
 	return x, nil
 }
 
@@ -210,7 +220,7 @@ type simConv struct {
 	bias []float64
 }
 
-func (c *simConv) forward(x *linalg.Dense) (*linalg.Dense, error) {
+func (c *simConv) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	batch := x.Rows
 	cols := nn.Im2Col(x, c.geom) // (b·oh·ow)×patch
 	prod, err := c.mat.MVM(cols)
@@ -244,7 +254,7 @@ type simLinear struct {
 	bias []float64
 }
 
-func (l *simLinear) forward(x *linalg.Dense) (*linalg.Dense, error) {
+func (l *simLinear) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	y, err := l.mat.MVM(x)
 	if err != nil {
 		return nil, err
@@ -268,7 +278,7 @@ type simDigital struct {
 	layer nn.Layer
 }
 
-func (d *simDigital) forward(x *linalg.Dense) (*linalg.Dense, error) {
+func (d *simDigital) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	return d.layer.Forward(x, false), nil
 }
 
@@ -281,7 +291,7 @@ type simAffine struct {
 	scale, shift []float64
 }
 
-func (a *simAffine) forward(x *linalg.Dense) (*linalg.Dense, error) {
+func (a *simAffine) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	y := linalg.NewDense(x.Rows, x.Cols)
 	for b := 0; b < x.Rows; b++ {
 		in, out := x.Row(b), y.Row(b)
@@ -302,8 +312,8 @@ type simResidual struct {
 	body *Sim
 }
 
-func (r *simResidual) forward(x *linalg.Dense) (*linalg.Dense, error) {
-	y, err := r.body.Forward(x)
+func (r *simResidual) forward(x *linalg.Dense, tid int64) (*linalg.Dense, error) {
+	y, err := r.body.forwardTID(x, tid)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,23 @@ var (
 	mLayerLatency   = obs.NewHistogram("funcsim.forward.layer_seconds", obs.LatencyBuckets)
 	mForwardLatency = obs.NewHistogram("funcsim.forward.latency_seconds", obs.LatencyBuckets)
 
+	// Fidelity metrics: the divergence probe (see Probe) and the
+	// experiment harnesses publish emulator-vs-circuit comparisons
+	// here, so "is the emulation still faithful" is answerable from
+	// any metrics snapshot.
+	mProbeSampled  = obs.NewCounter("funcsim.probe.sampled")
+	mProbePaced    = obs.NewCounter("funcsim.probe.paced")
+	mProbeDropped  = obs.NewCounter("funcsim.probe.dropped")
+	mProbeSolved   = obs.NewCounter("funcsim.probe.solved")
+	mProbeFailures = obs.NewCounter("funcsim.probe.solve_failures")
+	mProbeLatency  = obs.NewHistogram("funcsim.probe.latency_seconds", obs.LatencyBuckets)
+	mProbeRRMSE    = obs.NewHistogram("funcsim.probe.rrmse", obs.ExpBuckets(1e-4, 2, 18))
+	mProbeNFPos    = obs.NewHistogram("funcsim.probe.nf_pos", obs.LinearBuckets(0.05, 0.05, 20))
+	mProbeNFNeg    = obs.NewHistogram("funcsim.probe.nf_neg", obs.LinearBuckets(0.05, 0.05, 20))
+	mProbeEWMA     = obs.NewGauge("funcsim.probe.rrmse_ewma_micro")
+	mProbeBaseline = obs.NewGauge("funcsim.probe.baseline_micro")
+	mProbeDrift    = obs.NewGauge("funcsim.probe.drift_micro")
+
 	// Process-wide mirrors of the per-Matrix hardware-event counters:
 	// every completed MVM folds its per-call Stats here as well as into
 	// its matrix, so a metrics snapshot sees total architectural work
@@ -28,6 +45,29 @@ var (
 	gMVMRows        = obs.NewCounter("funcsim.mvm.rows")
 	gSkippedPasses  = obs.NewCounter("funcsim.mvm.skipped_passes")
 )
+
+// ObserveDivergence publishes one emulator-vs-circuit relative-RMSE
+// measurement into the fidelity pipeline (funcsim.probe.rrmse). The
+// online probe uses it per shadow-solve; offline harnesses (the Fig. 5
+// experiment) record their divergence numbers through the same metric
+// so operators read one catalog entry either way.
+func ObserveDivergence(rrmse float64) { mProbeRRMSE.Observe(rrmse) }
+
+// ObserveNF publishes circuit-solved non-ideality factors (Fig. 2's
+// NF = (Iideal−Inonideal)/Iideal, per column) into the fidelity
+// pipeline: positive values land in funcsim.probe.nf_pos, negative
+// values as magnitudes in funcsim.probe.nf_neg; exact zeros (dark
+// columns) are skipped.
+func ObserveNF(nf []float64) {
+	for _, v := range nf {
+		switch {
+		case v > 0:
+			mProbeNFPos.Observe(v)
+		case v < 0:
+			mProbeNFNeg.Observe(-v)
+		}
+	}
+}
 
 // recordMVM folds one completed MVM's event counts into the global
 // registry. Callers gate on obs.Enabled.

@@ -132,6 +132,9 @@ func (h *Histogram) snapshot(clear bool) HistogramSnapshot {
 		s.Count = h.count.Load()
 		s.Sum = h.sum.load()
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

@@ -123,6 +123,22 @@ func NewHistogram(name string, bounds []float64) *Histogram {
 // disabled at span start) is skipped.
 func RecordSpan(name string, start time.Time) { std.RecordSpan(name, start) }
 
+// RecordSpanTID records a completed span with a trace ID (from
+// NextTraceID) into the Default registry, grouping it with the other
+// spans of the same logical operation in trace exports.
+func RecordSpanTID(name string, start time.Time, trace int64) {
+	std.RecordSpanTID(name, start, trace)
+}
+
+// traceIDs issues process-wide span-grouping IDs; see NextTraceID.
+var traceIDs atomic.Int64
+
+// NextTraceID returns a fresh nonzero trace ID. Allocate one per
+// logical operation (an inference forward pass, a training step) and
+// record its spans with RecordSpanTID so exports group them on one
+// track. The call is a single atomic add — safe on hot paths.
+func NextTraceID() int64 { return traceIDs.Add(1) }
+
 // Snapshot returns a read-only, deterministic view of the Default
 // registry. It never clears anything; use Reset to clear.
 func Snapshot() SnapshotData { return std.Snapshot() }
@@ -138,14 +154,20 @@ func WriteJSON(w io.Writer) error { return std.WriteJSON(w) }
 // name-value text lines.
 func WriteText(w io.Writer) error { return std.WriteText(w) }
 
+// WriteTrace exports the Default registry's span ring as Chrome
+// trace-event JSON and returns the number of events written.
+func WriteTrace(w io.Writer) (int, error) { return std.WriteTrace(w) }
+
 // Handler returns an http.Handler serving the Default registry's JSON
 // snapshot.
 func Handler() http.Handler { return std.Handler() }
 
 // Serve exposes the Default registry on addr (e.g. "127.0.0.1:9090";
 // port 0 picks a free port) and returns the bound address. The server
-// runs until the process exits.
-func Serve(addr string) (string, error) { return std.Serve(addr) }
+// runs until the process exits. withPprof additionally mounts the
+// net/http/pprof handlers under /debug/pprof/ (opt-in: profiling
+// endpoints on a metrics port are a debugging tool, not a default).
+func Serve(addr string, withPprof bool) (string, error) { return std.Serve(addr, withPprof) }
 
 // Region is a started runtime/trace region (possibly inert). The zero
 // Region is inert; End on it is a no-op.

@@ -62,7 +62,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	for _, x := range []float64{1.01, 2} { // (1, 2]
 		h.Observe(x)
 	}
-	h.Observe(3.999) // (2, 4]
+	h.Observe(3.999)                                        // (2, 4]
 	for _, x := range []float64{4.0001, 100, math.Inf(1)} { // > 4
 		h.Observe(x)
 	}
@@ -213,7 +213,7 @@ func TestSpanRing(t *testing.T) {
 func TestHTTPHandlerServesJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("http.hits").Add(42)
-	addr, err := r.Serve("127.0.0.1:0")
+	addr, err := r.Serve("127.0.0.1:0", false)
 	if err != nil {
 		t.Fatal(err)
 	}

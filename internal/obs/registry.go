@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Registry holds named metrics and the span-event trace ring. Metric
@@ -13,6 +14,15 @@ import (
 // lock; instrumented code registers once at init and keeps the
 // handles, so the hot path never touches the registry itself.
 type Registry struct {
+	// epoch is the wall-clock instant the registry was created,
+	// carrying Go's monotonic reading; epochNano caches its UnixNano.
+	// Every span Start in the trace ring is epoch + monotonic delta
+	// (see Event), which gives exports a stable base that survives
+	// wall-clock steps. The epoch is fixed for the registry's lifetime
+	// — Reset clears metrics and spans but never re-anchors time.
+	epoch     time.Time
+	epochNano int64
+
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
@@ -23,12 +33,19 @@ type Registry struct {
 // NewRegistry creates an empty registry. Most code uses Default;
 // separate registries exist for tests that need isolation.
 func NewRegistry() *Registry {
+	now := time.Now()
 	return &Registry{
+		epoch:      now,
+		epochNano:  now.UnixNano(),
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
 	}
 }
+
+// Epoch returns the registry's creation wall time — the stable base
+// every span timestamp and trace export is anchored to.
+func (r *Registry) Epoch() time.Time { return r.epoch }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
@@ -81,12 +98,18 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // HistogramSnapshot is the exported state of one histogram. Counts has
-// one entry per bound plus a final overflow bucket.
+// one entry per bound plus a final overflow bucket. P50/P95/P99 are
+// bucket-interpolated quantile estimates computed at snapshot time
+// (see Quantile); they are estimates bounded by the bucket layout, not
+// exact order statistics.
 type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
 }
 
 // Mean returns Sum/Count, or 0 when empty.
@@ -97,14 +120,61 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
+// counts by linear interpolation inside the bucket containing the
+// target rank — the usual fixed-bucket estimator, so the result is
+// bounded by the bucket resolution. The first bucket interpolates
+// from 0 when its upper bound is positive (every in-repo layout is
+// non-negative); observations in the overflow bucket report the last
+// bound. An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1] // overflow bucket
+			}
+			hi := h.Bounds[i]
+			lo := 0.0
+			switch {
+			case i > 0:
+				lo = h.Bounds[i-1]
+			case hi <= 0:
+				lo = hi // unknown lower edge: no interpolation
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // SnapshotData is a deterministic point-in-time view of a registry:
 // identical registry state always yields an identical snapshot (and
 // identical JSON — map keys marshal sorted).
 type SnapshotData struct {
-	Enabled    bool                         `json:"enabled"`
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Enabled bool `json:"enabled"`
+	// EpochUnixNano is the registry's creation wall time; span Start
+	// values are epoch-anchored (see Event), so Start−EpochUnixNano is
+	// the span's offset into the run.
+	EpochUnixNano int64                        `json:"epoch_unix_nano"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
 	// Spans lists the retained trace events, oldest first.
 	Spans []Event `json:"spans,omitempty"`
 	// SpansDropped counts span events that fell off the ring.
@@ -125,10 +195,11 @@ func (r *Registry) capture(clear bool) SnapshotData {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := SnapshotData{
-		Enabled:    Enabled(),
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+		Enabled:       Enabled(),
+		EpochUnixNano: r.epochNano,
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
 	for name, c := range r.counters {
 		if clear {
@@ -159,7 +230,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText writes the registry snapshot as sorted "name value" lines,
-// histograms as "name count=N sum=S mean=M".
+// histograms as "name count=N sum=S mean=M p50=... p95=... p99=...".
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	var lines []string
@@ -170,7 +241,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s %d", name, v))
 	}
 	for name, h := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6g mean=%.6g", name, h.Count, h.Sum, h.Mean()))
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g",
+			name, h.Count, h.Sum, h.Mean(), h.P50, h.P95, h.P99))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

@@ -12,13 +12,26 @@ import (
 const traceRingSize = 256
 
 // Event is one completed span in the trace ring.
+//
+// Timestamp contract: Start is in Unix nanoseconds, derived as the
+// registry's epoch wall time plus the span start's *monotonic* offset
+// from that epoch (see Registry.Epoch). Within one registry, Start
+// values are therefore totally ordered and immune to wall-clock jumps;
+// across registries (or processes) they are only as comparable as the
+// wall clocks that anchored the epochs. Exporters that need a relative
+// timeline (WriteTrace) subtract the snapshot's EpochUnixNano.
 type Event struct {
 	// Name identifies the operation (static strings at call sites).
 	Name string `json:"name"`
-	// Start is the span start in Unix nanoseconds.
+	// Start is the span start in Unix nanoseconds (epoch-anchored
+	// monotonic; see the type comment).
 	Start int64 `json:"start_unix_nano"`
 	// Duration is the span length in nanoseconds.
 	Duration int64 `json:"duration_nano"`
+	// Trace groups spans that belong to one logical operation (e.g.
+	// one inference forward pass). 0 means ungrouped. IDs come from
+	// NextTraceID.
+	Trace int64 `json:"trace_id,omitempty"`
 }
 
 // eventRing is a fixed-capacity overwrite-oldest span buffer. Slots
@@ -33,7 +46,7 @@ type eventRing struct {
 	dropped int64 // events overwritten
 }
 
-func (r *eventRing) record(name string, start time.Time, dur time.Duration) {
+func (r *eventRing) record(e Event) {
 	r.mu.Lock()
 	if r.buf == nil {
 		r.buf = make([]Event, traceRingSize)
@@ -41,7 +54,7 @@ func (r *eventRing) record(name string, start time.Time, dur time.Duration) {
 	if r.total >= int64(len(r.buf)) {
 		r.dropped++
 	}
-	r.buf[r.next] = Event{Name: name, Start: start.UnixNano(), Duration: int64(dur)}
+	r.buf[r.next] = e
 	r.next = (r.next + 1) % len(r.buf)
 	r.total++
 	r.mu.Unlock()
@@ -76,10 +89,25 @@ func (r *eventRing) snapshot(clear bool) ([]Event, int64) {
 // instrumentation is disabled — is skipped, as is recording while
 // disabled.
 func (r *Registry) RecordSpan(name string, start time.Time) {
+	r.RecordSpanTID(name, start, 0)
+}
+
+// RecordSpanTID is RecordSpan with an explicit trace ID, so spans of
+// one logical operation (an inference pass, a training step) group
+// together in exports. Obtain IDs from NextTraceID; 0 means ungrouped.
+func (r *Registry) RecordSpanTID(name string, start time.Time, trace int64) {
 	if start.IsZero() || !enabled.Load() {
 		return
 	}
-	r.trace.record(name, start, time.Since(start))
+	// Anchor the wall-clock Start at the registry epoch through the
+	// monotonic delta, so ring timestamps stay ordered even if the
+	// wall clock steps mid-run (see Event).
+	r.trace.record(Event{
+		Name:     name,
+		Start:    r.epochNano + start.Sub(r.epoch).Nanoseconds(),
+		Duration: time.Since(start).Nanoseconds(),
+		Trace:    trace,
+	})
 }
 
 // Spans returns the retained span events, oldest first.

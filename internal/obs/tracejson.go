@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome
+// trace-event JSON format, the form chrome://tracing and Perfetto
+// load directly. ts and dur are in microseconds per the format spec.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int64   `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+// chromeTrace is the JSON-object envelope of the trace-event format.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteTrace exports the registry's span ring as Chrome trace-event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev. Each
+// span becomes one complete event; its timestamp is the span's offset
+// from the registry epoch (Epoch), so the trace timeline starts near
+// zero regardless of wall-clock values. Spans recorded with a trace ID
+// (RecordSpanTID) land on that ID's track ("tid"), grouping the spans
+// of one logical operation — e.g. one funcsim forward pass — into one
+// row of the viewer; ungrouped spans share track 0. Events are sorted
+// by timestamp, so identical ring contents serialize identically.
+//
+// It returns the number of events written. The ring holds the most
+// recent traceRingSize spans; earlier spans of a long run have been
+// overwritten (count them via SnapshotData.SpansDropped).
+func (r *Registry) WriteTrace(w io.Writer) (int, error) {
+	spans := r.Spans()
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]chromeEvent, 0, len(spans)),
+	}
+	for _, e := range spans {
+		ts := float64(e.Start-r.epochNano) / 1e3
+		if ts < 0 {
+			ts = 0
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: e.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Pid:  1,
+			Tid:  e.Trace,
+			Ts:   ts,
+			Dur:  float64(e.Duration) / 1e3,
+		})
+	}
+	sort.SliceStable(tr.TraceEvents, func(i, j int) bool {
+		return tr.TraceEvents[i].Ts < tr.TraceEvents[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tr); err != nil {
+		return 0, err
+	}
+	return len(tr.TraceEvents), nil
+}

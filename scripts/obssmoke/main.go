@@ -1,9 +1,12 @@
 // Command obssmoke is the end-to-end gate for the metrics pipeline: it
-// launches a tiny funcsim-run with -metrics-addr on an ephemeral port,
-// scrapes the HTTP endpoint while the run executes, and asserts the
-// JSON snapshot is well-formed and contains the live instrumentation
-// the run must produce — nonzero Newton-iteration and per-tile-latency
-// histograms. It exits 0 on success and 1 with a diagnosis otherwise.
+// launches a tiny funcsim-run with -metrics-addr on an ephemeral port
+// plus the fidelity probe and trace export enabled, scrapes the HTTP
+// endpoint while the run executes, and asserts the JSON snapshot is
+// well-formed and contains the live instrumentation the run must
+// produce — nonzero Newton-iteration, per-tile-latency, and
+// probe-divergence histograms — and that the emitted Chrome trace file
+// parses as JSON with at least one event. It exits 0 on success and 1
+// with a diagnosis otherwise.
 //
 // Run it via `make obs-smoke` (check.sh includes it).
 package main
@@ -36,12 +39,15 @@ type snapshot struct {
 	} `json:"histograms"`
 }
 
-// required are the histograms a geniex-mode run must populate: the
-// surrogate's training data comes from circuit solves (Newton
-// iterations) and the evaluation runs the tile pipeline.
+// required are the histograms a geniex-mode run with the fidelity
+// probe must populate: the surrogate's training data comes from
+// circuit solves (Newton iterations), the evaluation runs the tile
+// pipeline, and the probe shadow-solves sampled tiles into the
+// divergence histogram.
 var required = []string{
 	"xbar.solver.newton_iters",
 	"funcsim.tile.latency_seconds",
+	"funcsim.probe.rrmse",
 }
 
 func main() {
@@ -56,10 +62,19 @@ func main() {
 
 func run(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	traceFile, err := os.CreateTemp("", "obssmoke-trace-*.json")
+	if err != nil {
+		return err
+	}
+	tracePath := traceFile.Name()
+	traceFile.Close()
+	os.Remove(tracePath) // the child recreates it; a leftover empty file must not pass
+	defer os.Remove(tracePath)
 	cmd := exec.Command("go", "run", "./cmd/funcsim-run",
 		"-dataset", "cifar", "-mode", "geniex", "-size", "8",
 		"-train", "40", "-test", "8", "-epochs", "1", "-channels", "4",
 		"-geniex-samples", "16", "-geniex-epochs", "4",
+		"-probe-rate", "4", "-trace-out", tracePath,
 		"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "45s")
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -102,20 +117,62 @@ func run(timeout time.Duration) error {
 	}
 
 	var lastErr error
+	metricsOK := false
 	for time.Now().Before(deadline) {
-		snap, err := scrape(url)
-		if err == nil {
-			if missing := check(snap); len(missing) == 0 {
+		if !metricsOK {
+			snap, err := scrape(url)
+			switch {
+			case err != nil:
+				lastErr = err
+			default:
+				if missing := check(snap); len(missing) == 0 {
+					metricsOK = true
+					fmt.Println("obssmoke: metrics OK, waiting for trace file")
+				} else {
+					lastErr = fmt.Errorf("waiting for histograms: %s", strings.Join(missing, ", "))
+				}
+			}
+		}
+		if metricsOK {
+			// The trace file lands after the evaluation finishes (the
+			// child writes it just before its metrics endpoint lingers).
+			if err := checkTrace(tracePath); err == nil {
 				return nil
 			} else {
-				lastErr = fmt.Errorf("waiting for histograms: %s", strings.Join(missing, ", "))
+				lastErr = err
 			}
-		} else {
-			lastErr = err
 		}
 		time.Sleep(2 * time.Second)
 	}
 	return fmt.Errorf("deadline exceeded; last state: %w", lastErr)
+}
+
+// checkTrace asserts the emitted Chrome trace file parses as JSON and
+// holds at least one complete event.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("waiting for trace file: %w", err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace file is not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("trace file holds no events")
+	}
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return fmt.Errorf("trace event %d lacks name/ph", i)
+		}
+	}
+	fmt.Printf("obssmoke: trace OK (%d events)\n", len(tr.TraceEvents))
+	return nil
 }
 
 func scrape(url string) (*snapshot, error) {

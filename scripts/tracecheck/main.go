@@ -1,0 +1,63 @@
+// Command tracecheck validates a Chrome trace-event JSON file — the
+// output of `-trace-out` / obs.WriteTrace. It asserts the file parses,
+// holds at least one trace event, and every event carries a name, a
+// phase, and non-negative timestamps. It exits 0 on success and 1 with
+// a diagnosis otherwise.
+//
+// Run it via `make trace-smoke` (check.sh includes it).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type trace struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(1)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("%s is not valid trace JSON: %w", path, err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("%s holds no trace events", path)
+	}
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		if e.Ph == "" {
+			return fmt.Errorf("event %d (%s) has no phase", i, e.Name)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			return fmt.Errorf("event %d (%s) has negative ts=%g dur=%g", i, e.Name, e.Ts, e.Dur)
+		}
+	}
+	fmt.Printf("tracecheck: PASS (%s: %d events)\n", path, len(tr.TraceEvents))
+	return nil
+}
