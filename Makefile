@@ -1,6 +1,6 @@
-# Developer entry points. `make check` is the full gate: vet, build,
-# the whole test suite, and the race detector on the packages with
-# concurrent solver paths.
+# Developer entry points. `make check` is the full gate: formatting,
+# vet, build, the whole test suite, the race detector on the packages
+# with concurrent solver paths, and the end-to-end smokes.
 
 GO ?= go
 
@@ -8,11 +8,16 @@ GO ?= go
 # race detector must stay clean on these. -short skips the
 # circuit-in-the-loop pipeline tests that are too slow under race
 # instrumentation.
-RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs
+RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs ./internal/serve
 
-.PHONY: check vet build test race bench obs-smoke trace-smoke
+.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke
 
-check: vet build test race obs-smoke trace-smoke
+check: fmt vet build test race obs-smoke trace-smoke serve-smoke
+
+# gofmt cleanliness gate: fails listing the offending files.
+fmt:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -28,8 +33,10 @@ race:
 
 # MVM pipeline benchmarks: serial vs parallel wall-clock and the
 # allocs/op contract (ideal steady state must report 0 allocs/op).
+# benchjson tees the table to stdout and writes BENCH_PR6.json.
 bench:
-	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem .
+	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem . \
+		| $(GO) run ./scripts/benchjson -out BENCH_PR6.json
 
 # End-to-end metrics gate: run a tiny funcsim-run with -metrics-addr,
 # the fidelity probe, and trace export, scrape the endpoint, and assert
@@ -46,3 +53,9 @@ trace-smoke:
 		-epochs 1 -channels 4 -probe-rate 8 -trace-out trace_smoke.json
 	$(GO) run ./scripts/tracecheck trace_smoke.json
 	rm -f trace_smoke.json
+
+# End-to-end overload gate: start geniex-serve with chaos injection,
+# drive a loadgen burst past the faithful tier's sustainable rate, and
+# assert zero 5xx plus nonzero serve.shed and serve.retry counters.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke

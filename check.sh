@@ -1,15 +1,18 @@
 #!/bin/sh
-# Full repository gate: vet, build, tests, and the race detector on
-# the concurrency-bearing solver packages. Mirrors `make check` for
-# environments without make.
+# Full repository gate: formatting, vet, build, tests, the race
+# detector on the concurrency-bearing solver packages, and the
+# end-to-end smokes. Mirrors `make check` for environments without
+# make.
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race -short ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs
+go test -race -short ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs ./internal/serve
 go run ./scripts/obssmoke
 go run ./cmd/funcsim-run -mode ideal -size 8 -train 24 -test 6 \
 	-epochs 1 -channels 4 -probe-rate 8 -trace-out trace_smoke.json
 go run ./scripts/tracecheck trace_smoke.json
 rm -f trace_smoke.json
+go run ./scripts/servesmoke

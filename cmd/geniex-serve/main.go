@@ -1,0 +1,257 @@
+// Command geniex-serve is the overload-resilient serving frontend: it
+// trains a small CNN on a synthetic dataset, lowers it through the
+// functional simulator once per configured fidelity tier, and serves
+// POST /v1/infer with deadlines, admission control, retry/backoff,
+// per-tier circuit breakers, and a degradation ladder that sheds to
+// cheaper tiers under load (see DESIGN.md §9).
+//
+// Example:
+//
+//	geniex-serve -addr 127.0.0.1:8080 -tiers analytical,ideal
+//	curl -s localhost:8080/v1/infer -d '{"inputs":[[0.1, ...]]}'
+//
+// Endpoints: POST /v1/infer, GET /healthz, GET /metrics (obs
+// snapshot), GET /debug/pprof/ with -pprof.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"time"
+
+	"geniex/internal/core"
+	"geniex/internal/dataset"
+	"geniex/internal/funcsim"
+	"geniex/internal/models"
+	"geniex/internal/obs"
+	"geniex/internal/quant"
+	"geniex/internal/serve"
+	"geniex/internal/xbar"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geniex-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		tiers = flag.String("tiers", "analytical,ideal", "fidelity ladder, most faithful first: comma-separated subset of circuit,geniex,analytical,ideal; the last is the floor")
+
+		// Model and design point. The defaults keep startup fast; the
+		// server's point is resilience machinery, not accuracy.
+		size     = flag.Int("size", 8, "crossbar (tile) size")
+		bits     = flag.Int("bits", 8, "weight/activation precision")
+		streams  = flag.Int("streams", 2, "input stream width (bits)")
+		slices   = flag.Int("slices", 2, "weight slice width (bits)")
+		adcBits  = flag.Int("adc", 14, "ADC bits")
+		channels = flag.Int("channels", 4, "CNN width")
+		epochs   = flag.Int("epochs", 1, "CNN training epochs")
+		nTrain   = flag.Int("train", 256, "training images")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "concurrent tile tasks per MVM (0 = all cores)")
+
+		gxSamples = flag.Int("geniex-samples", 200, "geniex tier: dataset samples for surrogate training")
+		gxEpochs  = flag.Int("geniex-epochs", 60, "geniex tier: surrogate training epochs")
+
+		// Robustness knobs.
+		maxInFlight = flag.Int("max-inflight", 4, "concurrently executing requests")
+		tenantQueue = flag.Int("tenant-queue", 16, "per-tenant admission queue bound")
+		deadlineD   = flag.Duration("deadline", time.Second, "default per-request deadline")
+		maxDeadline = flag.Duration("max-deadline", 10*time.Second, "cap on client-requested deadlines")
+		retryMax    = flag.Int("retry-max", 2, "retries per tier for transient failures")
+		boBase      = flag.Duration("backoff-base", 5*time.Millisecond, "retry backoff base delay")
+		boCap       = flag.Duration("backoff-cap", 80*time.Millisecond, "retry backoff cap")
+		boFactor    = flag.Float64("backoff-factor", 2, "retry backoff multiplier")
+		boJitter    = flag.Float64("backoff-jitter", 0.5, "retry backoff jitter fraction [0,1]")
+		brkTrip     = flag.Int("breaker-trip", 5, "consecutive failures that open a tier's breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", time.Second, "breaker open→half-open cooldown")
+		shedAt      = flag.Float64("shed-at", 1.5, "load factor at which non-floor tiers shed (0 disables)")
+
+		// Probe-driven distrust: sample MVMs through the circuit
+		// solver and shed the faithful tier when divergence drifts.
+		probeRate  = flag.Int("probe-rate", 0, "sample 1 in n tile MVMs through the fidelity probe (0 disables)")
+		driftLimit = flag.Float64("drift-limit", 0, "probe drift above which the probed tier is distrusted (0 disables)")
+
+		// Chaos layer (tests and smoke): see serve.ChaosPolicy.
+		chaosLatency  = flag.Duration("chaos-latency", 0, "chaos: latency injected into tier execution")
+		chaosJitter   = flag.Duration("chaos-latency-jitter", 0, "chaos: extra uniform latency")
+		chaosErrRate  = flag.Float64("chaos-error-rate", 0, "chaos: probability a tier execution fails transiently")
+		chaosSpare    = flag.Bool("chaos-spare-floor", true, "chaos: exempt the floor tier from injection")
+		chaosStallN   = flag.Int("chaos-stall-every", 0, "chaos: stall every nth admitted request (0 disables)")
+		chaosStall    = flag.Duration("chaos-stall", 0, "chaos: queue-stall duration")
+		chaosFailAtt  = flag.Int("chaos-fail-attempts", 0, "chaos: xbar fault plan — fail the first n solve attempts per circuit batch item")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos: injection schedule seed")
+		metricsEnable = flag.Bool("metrics", true, "enable the obs registry")
+		withPprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	flag.Parse()
+
+	if *metricsEnable {
+		obs.SetEnabled(true)
+	}
+
+	tierNames := strings.Split(*tiers, ",")
+	if len(tierNames) == 0 || tierNames[0] == "" {
+		return fmt.Errorf("empty -tiers")
+	}
+
+	// Train the float model once; every tier lowers the same network.
+	set := dataset.SynthCIFAR(*nTrain, 16, *seed+10)
+	fmt.Printf("serve: training MiniConvNet on %s (%d images, %d epochs)...\n", set.Name, *nTrain, *epochs)
+	net0 := models.MiniConvNet(set, *channels, *seed+30)
+	if err := models.Train(net0, set, models.TrainConfig{
+		Epochs: *epochs, BatchSize: 32, LR: 0.05, Seed: *seed + 40,
+	}); err != nil {
+		return err
+	}
+
+	fxp := quant.FxP{Bits: *bits, Frac: *bits - 3}
+	newSimCfg := func(xcfg xbar.Config, probe int) (funcsim.Config, error) {
+		return funcsim.NewConfig(xcfg,
+			funcsim.WithFormats(fxp, fxp),
+			funcsim.WithStreamBits(*streams), funcsim.WithSliceBits(*slices),
+			funcsim.WithADCBits(*adcBits), funcsim.WithWorkers(*workers),
+			funcsim.WithProbeRate(probe))
+	}
+
+	chaos := &serve.ChaosPolicy{
+		Latency: *chaosLatency, LatencyJitter: *chaosJitter,
+		ErrorRate: *chaosErrRate, SpareFloor: *chaosSpare,
+		StallEvery: *chaosStallN, Stall: *chaosStall,
+		Seed: *chaosSeed,
+	}
+	if *chaosFailAtt > 0 {
+		chaos.Faults = &xbar.FaultPlan{FailAttempts: *chaosFailAtt}
+	}
+
+	var ladder []serve.Tier
+	for i, name := range tierNames {
+		name = strings.TrimSpace(name)
+		xcfg, err := xbar.NewConfig(*size, *size, xbar.WithBatchWorkers(1))
+		if err != nil {
+			return err
+		}
+		if name == "circuit" && chaos.Faults != nil {
+			xcfg = xcfg.WithFaults(chaos.Faults)
+		}
+		// The fidelity probe rides on the first tier only: it
+		// shadow-solves that tier's MVMs through the circuit solver,
+		// which is the divergence that matters for distrust.
+		probe := 0
+		if i == 0 && name != "circuit" {
+			probe = *probeRate
+		}
+		simCfg, err := newSimCfg(xcfg, probe)
+		if err != nil {
+			return err
+		}
+
+		var model funcsim.Model
+		switch name {
+		case "ideal":
+			model = funcsim.Ideal{}
+		case "analytical":
+			model = funcsim.Analytical{Cfg: simCfg.Xbar}
+		case "circuit":
+			model = funcsim.Circuit{Cfg: simCfg.Xbar, Degraded: false, Health: &funcsim.SolverHealth{}}
+		case "geniex":
+			fmt.Println("serve: training GENIEx surrogate...")
+			gx, err := trainSurrogate(simCfg.Xbar, *streams, *slices, *gxSamples, *gxEpochs, *seed)
+			if err != nil {
+				return err
+			}
+			model = funcsim.GENIEx{Model: gx}
+		default:
+			return fmt.Errorf("unknown tier %q (want circuit, geniex, analytical or ideal)", name)
+		}
+
+		eng, err := funcsim.NewEngine(simCfg, model)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		sim, err := funcsim.Lower(net0, eng)
+		if err != nil {
+			return err
+		}
+		tier := serve.Tier{Name: name, Runner: sim}
+		if i < len(tierNames)-1 {
+			tier.ShedAt = *shedAt
+		}
+		if p := eng.Probe(); p != nil && *driftLimit > 0 {
+			limit := *driftLimit
+			tier.Distrust = func() bool {
+				st := p.Stats()
+				return st.BaselineRecorded && st.Drift > limit
+			}
+		}
+		ladder = append(ladder, tier)
+		fmt.Printf("serve: tier %d: %s (%d crossbars/layer-matrix)\n", i, name, simCfg.Xbar.Rows)
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Tiers:       ladder,
+		In:          set.Features(),
+		Out:         set.Classes,
+		MaxInFlight: *maxInFlight,
+		TenantQueue: *tenantQueue,
+		Deadline:    *deadlineD,
+		MaxDeadline: *maxDeadline,
+		RetryMax:    *retryMax,
+		Backoff:     serve.Backoff{Base: *boBase, Cap: *boCap, Factor: *boFactor, Jitter: *boJitter},
+		BreakerTrip: *brkTrip, BreakerCooldown: *brkCooldown,
+		Chaos: chaos,
+		Seed:  *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/infer", srv)
+	mux.Handle("/healthz", srv)
+	mux.Handle("/metrics", obs.Handler())
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: listening on http://%s\n", ln.Addr())
+	return http.Serve(ln, mux)
+}
+
+// trainSurrogate builds a GENIEx surrogate for the design point (the
+// geniex tier has no pretrained-model path here; keep the sample and
+// epoch counts small).
+func trainSurrogate(xcfg xbar.Config, streams, slices, samples, epochs int, seed uint64) (*core.Model, error) {
+	ds, err := core.Generate(xcfg, core.GenOptions{
+		Samples:    samples,
+		StreamBits: streams, SliceBits: slices,
+		Sparsities: []float64{0, 0.5, 0.9},
+		Seed:       seed + 50,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gx, err := core.NewModel(xcfg, 64, seed+60)
+	if err != nil {
+		return nil, err
+	}
+	if err := gx.Train(ds, core.TrainOptions{Epochs: epochs, Seed: seed + 70}); err != nil {
+		return nil, err
+	}
+	return gx, nil
+}

@@ -1,6 +1,7 @@
 package funcsim
 
 import (
+	"context"
 	"fmt"
 
 	"geniex/internal/core"
@@ -109,7 +110,17 @@ func (t *calibratedTile) CurrentsInto(dst, v *linalg.Dense) error {
 }
 
 func (t *calibratedTile) currentsVC(dst, v *linalg.Dense, vc *core.VContext) error {
-	if err := currentsInto(t.inner, dst, v, vc); err != nil {
+	if err := currentsInto(nil, t.inner, dst, v, vc); err != nil {
+		return err
+	}
+	t.apply(dst)
+	return nil
+}
+
+// CurrentsCtxInto implements ctxTile by forwarding the context to the
+// wrapped tile, so a decorated circuit tile stays cancellable.
+func (t *calibratedTile) CurrentsCtxInto(ctx context.Context, dst, v *linalg.Dense) error {
+	if err := currentsInto(ctx, t.inner, dst, v, nil); err != nil {
 		return err
 	}
 	t.apply(dst)

@@ -1,6 +1,7 @@
 package funcsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -349,6 +350,7 @@ type mvmTask struct {
 // runs on a freelist so steady-state MVMs allocate nothing.
 type mvmRun struct {
 	m      *Matrix
+	ctx    context.Context // nil unless the MVM came in via MVMIntoContext
 	x      *linalg.Dense
 	batch  int
 	accOut []int64
@@ -439,6 +441,12 @@ func (r *mvmRun) doTask(idx int) {
 	if r.hasFailed() {
 		return
 	}
+	if r.ctx != nil {
+		if cerr := r.ctx.Err(); cerr != nil {
+			r.setErr(fmt.Errorf("funcsim: MVM cancelled: %w", cerr))
+			return
+		}
+	}
 	start := obs.Now()
 	defer mTileLatency.ObserveSince(start)
 	t := &r.tasks[idx]
@@ -490,7 +498,7 @@ func (r *mvmRun) pass(t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBl
 	mcols := cfg.Xbar.Cols
 	ka := cfg.streamDigits()
 	for l, tile := range tiles {
-		if err := currentsInto(tile, t.curr, blk.vb, blk.vctx); err != nil {
+		if err := currentsInto(r.ctx, tile, t.curr, blk.vb, blk.vctx); err != nil {
 			return fmt.Errorf("funcsim: tile (%d,%d) slice %d: %w", t.tr, t.tc, l, err)
 		}
 		if t.probeArm && gs != nil {
@@ -524,8 +532,16 @@ func (r *mvmRun) pass(t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBl
 // units (already dequantized from the accumulator). Use MVMInto with a
 // caller-owned output to avoid the result allocation.
 func (m *Matrix) MVM(x *linalg.Dense) (*linalg.Dense, error) {
+	return m.MVMContext(nil, x)
+}
+
+// MVMContext is MVM with cooperative cancellation: once ctx is done,
+// pending tile tasks are abandoned before they start and in-flight
+// circuit solves abort at their next Newton update. A nil ctx is
+// identical to MVM.
+func (m *Matrix) MVMContext(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
 	out := linalg.NewDense(x.Rows, m.out)
-	if err := m.MVMInto(out, x); err != nil {
+	if err := m.MVMIntoContext(ctx, out, x); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -538,6 +554,13 @@ func (m *Matrix) MVM(x *linalg.Dense) (*linalg.Dense, error) {
 // worker count. Steady-state calls allocate nothing: all scratch comes
 // from the matrix's run pool.
 func (m *Matrix) MVMInto(dst, x *linalg.Dense) error {
+	return m.MVMIntoContext(nil, dst, x)
+}
+
+// MVMIntoContext is MVMInto with cooperative cancellation (see
+// MVMContext). On cancellation it returns an error wrapping ctx.Err()
+// and dst holds unspecified contents.
+func (m *Matrix) MVMIntoContext(ctx context.Context, dst, x *linalg.Dense) error {
 	if x.Cols != m.in {
 		return fmt.Errorf("funcsim: MVM input has %d features, matrix expects %d", x.Cols, m.in)
 	}
@@ -549,6 +572,7 @@ func (m *Matrix) MVMInto(dst, x *linalg.Dense) error {
 	defer region.End()
 	cfg := m.eng.cfg
 	r := m.getRun(x)
+	r.ctx = ctx
 	defer m.putRun(r)
 
 	if cfg.Workers == 1 || len(r.tasks) == 1 {
@@ -676,6 +700,7 @@ func (m *Matrix) getRun(x *linalg.Dense) *mvmRun {
 // putRun drops input references and returns the run to the freelist.
 func (m *Matrix) putRun(r *mvmRun) {
 	r.x = nil
+	r.ctx = nil
 	for i := range r.blocks {
 		for s := range r.blocks[i].blocks {
 			r.blocks[i].blocks[s].vctx = nil

@@ -18,6 +18,7 @@
 package funcsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -55,6 +56,16 @@ type intoTile interface {
 	CurrentsInto(dst, v *linalg.Dense) error
 }
 
+// ctxTile is the cancellation-aware fast path: tiles whose evaluation
+// is expensive enough to be worth stopping mid-flight (the circuit
+// model's batch solves) implement it, and the MVM pipeline prefers it
+// whenever the caller supplied a context. Cheap tiles (ideal,
+// analytical, GENIEx) finish faster than a cancellation check is
+// worth; they fall through to the uncancellable paths.
+type ctxTile interface {
+	CurrentsCtxInto(ctx context.Context, dst, v *linalg.Dense) error
+}
+
 // surrogateTile is implemented by tiles whose analog evaluation runs
 // through the GENIEx neural surrogate. The engine hands them the
 // per-input-block VContext so the dominant first-layer voltage matmul
@@ -80,12 +91,18 @@ func surrogateOf(m Model) *core.Model {
 }
 
 // currentsInto evaluates tile into dst through the fastest interface
-// it implements: the shared-VContext surrogate path, the
-// caller-owned-buffer path, or plain Currents plus a copy.
-func currentsInto(tile Tile, dst, v *linalg.Dense, vc *core.VContext) error {
+// it implements: the shared-VContext surrogate path, the cancellable
+// path (when ctx is non-nil), the caller-owned-buffer path, or plain
+// Currents plus a copy.
+func currentsInto(ctx context.Context, tile Tile, dst, v *linalg.Dense, vc *core.VContext) error {
 	if vc != nil {
 		if st, ok := tile.(surrogateTile); ok {
 			return st.currentsVC(dst, v, vc)
+		}
+	}
+	if ctx != nil {
+		if ct, ok := tile.(ctxTile); ok {
+			return ct.CurrentsCtxInto(ctx, dst, v)
 		}
 	}
 	if it, ok := tile.(intoTile); ok {
@@ -368,7 +385,14 @@ func (t circuitTile) Currents(v *linalg.Dense) (*linalg.Dense, error) {
 }
 
 func (t circuitTile) CurrentsInto(dst, v *linalg.Dense) error {
-	rep, err := t.solver.SolveReportInto(dst, v)
+	return t.CurrentsCtxInto(nil, dst, v)
+}
+
+// CurrentsCtxInto implements ctxTile: the batch solve aborts at the
+// next Newton update once ctx is done, so a revoked serving deadline
+// stops circuit work instead of letting it run to completion.
+func (t circuitTile) CurrentsCtxInto(ctx context.Context, dst, v *linalg.Dense) error {
+	rep, err := t.solver.SolveReportIntoContext(ctx, dst, v)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package funcsim
 
 import (
+	"context"
 	"fmt"
 
 	"geniex/internal/linalg"
@@ -24,7 +25,7 @@ type Sim struct {
 }
 
 type simLayer interface {
-	forward(x *linalg.Dense, tid int64) (*linalg.Dense, error)
+	forward(ctx context.Context, x *linalg.Dense, tid int64) (*linalg.Dense, error)
 	describe() string
 }
 
@@ -180,17 +181,31 @@ func (s *Sim) lowerLinear(l *nn.Linear, bn *nn.BatchNorm) (*simLinear, error) {
 // including those of nested residual bodies — under it, so a trace
 // export (obs.WriteTrace) groups the spans of one inference together.
 func (s *Sim) Forward(x *linalg.Dense) (*linalg.Dense, error) {
-	return s.forwardTID(x, obs.NextTraceID())
+	return s.forwardTID(nil, x, obs.NextTraceID())
+}
+
+// ForwardContext is Forward with cooperative cancellation: the context
+// is checked between layers and threaded down through MVMIntoContext
+// into the circuit batch solver, so a revoked deadline stops analog
+// work mid-solve rather than after the pass completes. A nil ctx is
+// identical to Forward.
+func (s *Sim) ForwardContext(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
+	return s.forwardTID(ctx, x, obs.NextTraceID())
 }
 
 // forwardTID is Forward under an explicit trace ID; residual bodies
 // reuse their parent pass's ID.
-func (s *Sim) forwardTID(x *linalg.Dense, tid int64) (*linalg.Dense, error) {
+func (s *Sim) forwardTID(ctx context.Context, x *linalg.Dense, tid int64) (*linalg.Dense, error) {
 	start := obs.Now()
 	var err error
 	for i, l := range s.layers {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("funcsim: forward cancelled at layer %d: %w", i, cerr)
+			}
+		}
 		layerStart := obs.Now()
-		if x, err = l.forward(x, tid); err != nil {
+		if x, err = l.forward(ctx, x, tid); err != nil {
 			return nil, err
 		}
 		mLayerLatency.ObserveSince(layerStart)
@@ -220,10 +235,10 @@ type simConv struct {
 	bias []float64
 }
 
-func (c *simConv) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (c *simConv) forward(ctx context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	batch := x.Rows
 	cols := nn.Im2Col(x, c.geom) // (b·oh·ow)×patch
-	prod, err := c.mat.MVM(cols)
+	prod, err := c.mat.MVMContext(ctx, cols)
 	if err != nil {
 		return nil, err
 	}
@@ -254,8 +269,8 @@ type simLinear struct {
 	bias []float64
 }
 
-func (l *simLinear) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
-	y, err := l.mat.MVM(x)
+func (l *simLinear) forward(ctx context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+	y, err := l.mat.MVMContext(ctx, x)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +293,7 @@ type simDigital struct {
 	layer nn.Layer
 }
 
-func (d *simDigital) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (d *simDigital) forward(_ context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	return d.layer.Forward(x, false), nil
 }
 
@@ -291,7 +306,7 @@ type simAffine struct {
 	scale, shift []float64
 }
 
-func (a *simAffine) forward(x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (a *simAffine) forward(_ context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
 	y := linalg.NewDense(x.Rows, x.Cols)
 	for b := 0; b < x.Rows; b++ {
 		in, out := x.Row(b), y.Row(b)
@@ -312,8 +327,8 @@ type simResidual struct {
 	body *Sim
 }
 
-func (r *simResidual) forward(x *linalg.Dense, tid int64) (*linalg.Dense, error) {
-	y, err := r.body.forwardTID(x, tid)
+func (r *simResidual) forward(ctx context.Context, x *linalg.Dense, tid int64) (*linalg.Dense, error) {
+	y, err := r.body.forwardTID(ctx, x, tid)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package funcsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -93,7 +94,17 @@ func (t *noisyTile) CurrentsInto(dst, v *linalg.Dense) error {
 }
 
 func (t *noisyTile) currentsVC(dst, v *linalg.Dense, vc *core.VContext) error {
-	if err := currentsInto(t.inner, dst, v, vc); err != nil {
+	if err := currentsInto(nil, t.inner, dst, v, vc); err != nil {
+		return err
+	}
+	t.perturb(dst)
+	return nil
+}
+
+// CurrentsCtxInto implements ctxTile by forwarding the context to the
+// wrapped tile, so a decorated circuit tile stays cancellable.
+func (t *noisyTile) CurrentsCtxInto(ctx context.Context, dst, v *linalg.Dense) error {
+	if err := currentsInto(ctx, t.inner, dst, v, nil); err != nil {
 		return err
 	}
 	t.perturb(dst)

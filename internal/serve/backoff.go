@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"time"
+
+	"geniex/internal/linalg"
+)
+
+// Backoff is a capped exponential retry schedule with bounded
+// subtractive jitter: attempt n (0-based) nominally waits
+// Base·Factorⁿ, clamped to Cap, and the returned delay is drawn
+// uniformly from [(1−Jitter)·nominal, nominal]. Jitter pulls delays
+// earlier only — the nominal schedule is the worst case, so deadline
+// budgeting against it is safe.
+type Backoff struct {
+	// Base is the nominal delay before the first retry.
+	Base time.Duration
+	// Cap bounds the nominal delay; 0 means uncapped.
+	Cap time.Duration
+	// Factor is the per-attempt multiplier; values below 1 are treated
+	// as 1 (constant schedule).
+	Factor float64
+	// Jitter in [0,1] is the fraction of the nominal delay the draw
+	// may subtract. 0 disables jitter; 1 allows any delay down to 0.
+	Jitter float64
+}
+
+// DefaultBackoff is the serving default: 5ms, doubling, capped at
+// 80ms, with half-width jitter. Four attempts fit inside a ~200ms
+// deadline even with zero jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 5 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2, Jitter: 0.5}
+}
+
+// Delay returns the wait before retry attempt (0-based). The rng is
+// caller-owned: the server uses one seeded source per request so
+// schedules are reproducible in tests; a nil rng disables jitter.
+func (b Backoff) Delay(attempt int, rng *linalg.RNG) time.Duration {
+	nominal := float64(b.Base)
+	factor := b.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	for i := 0; i < attempt; i++ {
+		nominal *= factor
+		if b.Cap > 0 && nominal >= float64(b.Cap) {
+			nominal = float64(b.Cap)
+			break
+		}
+	}
+	if b.Cap > 0 && nominal > float64(b.Cap) {
+		nominal = float64(b.Cap)
+	}
+	if nominal < 0 {
+		return 0
+	}
+	if b.Jitter > 0 && rng != nil {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		nominal *= 1 - j*rng.Float64()
+	}
+	return time.Duration(nominal)
+}
+
+// sleepCtx waits for d or until ctx is done, whichever is first, and
+// reports whether the full wait completed. A nil ctx always waits.
+func sleepCtx(ctx ctxDone, d time.Duration) bool {
+	if d <= 0 {
+		return ctx == nil || ctx.Err() == nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ctxDone is the subset of context.Context the wait helpers need;
+// having a named subset keeps backoff free of the context import and
+// makes the dependency explicit.
+type ctxDone interface {
+	Done() <-chan struct{}
+	Err() error
+}

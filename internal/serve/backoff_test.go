@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"geniex/internal/linalg"
+)
+
+// The nominal (jitter-free) schedule must be exponential in Factor
+// and clamp at Cap.
+func TestBackoffNominalSchedule(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		5 * time.Millisecond,  // attempt 0
+		10 * time.Millisecond, // 1
+		20 * time.Millisecond, // 2
+		40 * time.Millisecond, // 3
+		80 * time.Millisecond, // 4
+		80 * time.Millisecond, // 5: capped
+		80 * time.Millisecond, // 6: stays capped
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt, nil); got != w {
+			t.Errorf("attempt %d: delay %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// Seeded-RNG table test: every jittered draw must land inside
+// [(1−Jitter)·nominal, nominal], the cap must bound the nominal even
+// under jitter, and the schedule must be reproducible per seed.
+func TestBackoffJitterBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		b      Backoff
+		seed   uint64
+		tries  int
+		maxAtt int
+	}{
+		{"half-jitter", Backoff{Base: 4 * time.Millisecond, Cap: 64 * time.Millisecond, Factor: 2, Jitter: 0.5}, 11, 64, 8},
+		{"full-jitter", Backoff{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond, Factor: 3, Jitter: 1}, 23, 64, 6},
+		{"tiny-jitter", Backoff{Base: 1 * time.Millisecond, Cap: 0, Factor: 1.5, Jitter: 0.1}, 37, 64, 10},
+		{"over-jitter", Backoff{Base: 2 * time.Millisecond, Cap: 16 * time.Millisecond, Factor: 2, Jitter: 1.5}, 41, 64, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := linalg.NewRNG(tc.seed)
+			for i := 0; i < tc.tries; i++ {
+				attempt := i % tc.maxAtt
+				nominal := tc.b.Delay(attempt, nil)
+				if tc.b.Cap > 0 && nominal > tc.b.Cap {
+					t.Fatalf("attempt %d: nominal %v exceeds cap %v", attempt, nominal, tc.b.Cap)
+				}
+				got := tc.b.Delay(attempt, rng)
+				j := tc.b.Jitter
+				if j > 1 {
+					j = 1
+				}
+				lo := time.Duration((1 - j) * float64(nominal))
+				if got < lo || got > nominal {
+					t.Errorf("attempt %d draw %d: delay %v outside [%v, %v]",
+						attempt, i, got, lo, nominal)
+				}
+			}
+
+			// Same seed → identical schedule (tests rely on this).
+			a, b := linalg.NewRNG(tc.seed), linalg.NewRNG(tc.seed)
+			for i := 0; i < 16; i++ {
+				if da, db := tc.b.Delay(i, a), tc.b.Delay(i, b); da != db {
+					t.Fatalf("attempt %d: same-seed draws differ: %v != %v", i, da, db)
+				}
+			}
+		})
+	}
+}
+
+// Jitter must actually vary the delay (it subtracts a uniform draw, so
+// two consecutive draws being bit-identical over many tries would mean
+// the rng is not consulted).
+func TestBackoffJitterVaries(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5}
+	rng := linalg.NewRNG(5)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[b.Delay(3, rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("32 jittered draws produced %d distinct delays", len(seen))
+	}
+}

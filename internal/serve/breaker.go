@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's tri-state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen has admitted one probe request and rejects the
+	// rest until the probe reports back.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding one
+// fidelity tier. Trip consecutive failures open it; after Cooldown it
+// half-opens and admits exactly one probe request, whose outcome
+// either closes it again or re-opens it for another cooldown. While
+// open, the degradation ladder skips the tier entirely, so a
+// persistently failing circuit solver costs requests nothing.
+type Breaker struct {
+	trip     int
+	cooldown time.Duration
+
+	// now is injectable so the trip/half-open/re-open schedule is
+	// testable without sleeping.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+}
+
+// NewBreaker creates a closed breaker that opens after trip
+// consecutive failures and half-opens cooldown later. trip < 1 is
+// treated as 1.
+func NewBreaker(trip int, cooldown time.Duration) *Breaker {
+	if trip < 1 {
+		trip = 1
+	}
+	return &Breaker{trip: trip, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may use the guarded tier. In the
+// open state the call itself performs the half-open transition once
+// the cooldown has elapsed; the single request that observes the
+// transition is the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true // this caller is the probe
+		}
+		return false
+	case BreakerHalfOpen:
+		return false // a probe is already in flight
+	}
+	return false
+}
+
+// Success records a successful call: any state returns to closed with
+// the failure streak cleared.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed call. A half-open probe failure re-opens
+// immediately; in the closed state the trip threshold applies.
+// Failure reports whether this call tripped the breaker open.
+func (b *Breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.trip {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the breaker's current state without advancing the
+// open → half-open transition.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

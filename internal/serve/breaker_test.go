@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's injectable now func.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeBreaker(trip int, cd time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(trip, cd)
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b.now = c.now
+	return b, c
+}
+
+// The breaker must trip open after exactly N consecutive failures,
+// and a success mid-streak must reset the count.
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	const trip = 3
+	b, _ := newFakeBreaker(trip, time.Second)
+
+	// A success interrupts the streak: 2 failures + success + 2
+	// failures never trips.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if tripped := b.Failure(); tripped {
+		t.Fatal("breaker tripped before the consecutive threshold")
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after interrupted streak, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+
+	// The trip-th consecutive failure opens it.
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("breaker did not trip at the threshold")
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after trip, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic before cooldown")
+	}
+}
+
+// After the cooldown the breaker half-opens: exactly one probe is
+// admitted; its success closes the breaker, its failure re-opens it
+// for a fresh cooldown.
+func TestBreakerHalfOpensAfterCooldown(t *testing.T) {
+	const cd = 250 * time.Millisecond
+	b, clk := newFakeBreaker(1, cd)
+
+	b.Failure() // trip=1: open immediately
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic")
+	}
+	clk.advance(cd - time.Nanosecond)
+	if b.Allow() {
+		t.Fatal("breaker half-opened before the cooldown elapsed")
+	}
+	clk.advance(time.Nanosecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+
+	// Probe failure → open again, full cooldown restarts.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", got)
+	}
+	clk.advance(cd / 2)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted traffic after half the cooldown")
+	}
+	clk.advance(cd)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker did not half-open after a full cooldown")
+	}
+
+	// Probe success → closed, traffic flows.
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected traffic")
+		}
+	}
+}

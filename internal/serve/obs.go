@@ -1,0 +1,44 @@
+// Package serve is the overload-resilient inference frontend of the
+// functional simulator: an HTTP/JSON server that executes lowered
+// models through a fidelity degradation ladder (circuit → GENIEx →
+// analytical → ideal), with admission control, per-request deadlines
+// threaded down into the circuit solver, retry-with-backoff for
+// transient solver faults, and a per-tier circuit breaker.
+//
+// The design principle is that every overload outcome is typed: a
+// request either succeeds (200, annotated with the tier that actually
+// served it), is rejected at admission (429 + Retry-After), runs out
+// of deadline (504), or exhausts every tier (503). The server never
+// queues unboundedly and never crashes under burst; see DESIGN.md §9.
+package serve
+
+import "geniex/internal/obs"
+
+// Metric handles for the serving frontend, registered once in the
+// process-wide obs registry. Per-tier latency histograms are
+// registered per Server in NewServer (their names depend on the
+// configured tiers).
+var (
+	mRequests  = obs.NewCounter("serve.requests")
+	mOK        = obs.NewCounter("serve.ok")
+	mRejected  = obs.NewCounter("serve.rejected")  // 429 at admission
+	mTimeout   = obs.NewCounter("serve.timeout")   // 504 deadline exceeded
+	mExhausted = obs.NewCounter("serve.exhausted") // 503 every tier failed
+	mBadInput  = obs.NewCounter("serve.bad_input") // 400 malformed request
+
+	mShedOverload = obs.NewCounter("serve.shed.overload")
+	mShedBreaker  = obs.NewCounter("serve.shed.breaker")
+	mShedDrift    = obs.NewCounter("serve.shed.drift")
+	mShedError    = obs.NewCounter("serve.shed.error")
+	mShed         = obs.NewCounter("serve.shed")
+
+	mRetry        = obs.NewCounter("serve.retry")
+	mBreakerTrips = obs.NewCounter("serve.breaker.trips")
+	mChaosFaults  = obs.NewCounter("serve.chaos.faults")
+	mChaosStalls  = obs.NewCounter("serve.chaos.stalls")
+
+	mQueueDepth = obs.NewGauge("serve.queue_depth")
+	mInFlight   = obs.NewGauge("serve.inflight")
+
+	mLatency = obs.NewHistogram("serve.latency_seconds", obs.LatencyBuckets)
+)

@@ -1,0 +1,523 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geniex/internal/linalg"
+	"geniex/internal/obs"
+	"geniex/internal/xbar"
+)
+
+// Runner executes one inference at some fidelity. *funcsim.Sim
+// satisfies it directly; tests use RunnerFunc stubs.
+type Runner interface {
+	ForwardContext(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error)
+
+// ForwardContext implements Runner.
+func (f RunnerFunc) ForwardContext(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
+	return f(ctx, x)
+}
+
+// Tier is one rung of the fidelity degradation ladder, ordered most
+// faithful first in Config.Tiers. The last tier is the floor: the
+// ladder never sheds past it, so it should be the cheap, reliable
+// model (analytical or ideal).
+type Tier struct {
+	// Name annotates responses and metric names; must be unique.
+	Name string
+	// Runner executes the tier.
+	Runner Runner
+	// ShedAt is the load factor (queued+in-flight over MaxInFlight)
+	// at or above which the ladder skips this tier. 0 never sheds on
+	// load. Ignored on the floor tier.
+	ShedAt float64
+	// Distrust, when non-nil, reports that this tier's fidelity is
+	// currently not trusted (the PR 5 probe drift gauge is the
+	// intended source); the ladder then sheds past it. Ignored on the
+	// floor tier.
+	Distrust func() bool
+}
+
+// Config parameterizes the server. The zero value of each field gets
+// a serving-grade default in NewServer.
+type Config struct {
+	// Tiers is the degradation ladder, most faithful first. Required.
+	Tiers []Tier
+	// In and Out, when non-zero, validate request/response widths.
+	In, Out int
+	// MaxInFlight caps concurrently executing requests. Default 4.
+	MaxInFlight int
+	// TenantQueue bounds each tenant's admission queue (requests
+	// waiting for an in-flight slot). Default 16.
+	TenantQueue int
+	// Deadline is the default per-request deadline; MaxDeadline caps
+	// client-requested ones. Defaults 1s and 10s.
+	Deadline    time.Duration
+	MaxDeadline time.Duration
+	// RetryMax is how many times one tier retries a transient failure
+	// before the ladder sheds past it. Default 2.
+	RetryMax int
+	// Backoff is the retry schedule; zero Base gets DefaultBackoff.
+	Backoff Backoff
+	// BreakerTrip consecutive failures open a tier's breaker;
+	// BreakerCooldown later it half-opens. Defaults 5 and 1s.
+	BreakerTrip     int
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, injects faults (tests and smoke only).
+	Chaos *ChaosPolicy
+	// Seed seeds the per-request backoff jitter streams. Default 1.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.TenantQueue <= 0 {
+		c.TenantQueue = 16
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Second
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	} else if c.RetryMax == 0 {
+		c.RetryMax = 2
+	}
+	if c.Backoff.Base <= 0 {
+		c.Backoff = DefaultBackoff()
+	}
+	if c.BreakerTrip <= 0 {
+		c.BreakerTrip = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Server is the overload-resilient serving frontend. It implements
+// http.Handler (POST /v1/infer, GET /healthz); mount obs.Handler()
+// alongside it for /metrics.
+type Server struct {
+	cfg      Config
+	sem      chan struct{} // in-flight slots
+	queued   atomic.Int64  // admitted but not yet executing, all tenants
+	breakers []*Breaker
+	tierLat  []*obs.Histogram
+
+	tmu     sync.Mutex
+	tenants map[string]*tenantQueue
+
+	rmu sync.Mutex
+	rng *linalg.RNG
+
+	mux *http.ServeMux
+}
+
+// tenantQueue tracks one tenant's share of the admission queue.
+type tenantQueue struct {
+	queued atomic.Int64
+}
+
+// NewServer validates cfg, applies defaults, and registers the
+// per-tier latency histograms.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Tiers) == 0 {
+		return nil, errors.New("serve: config needs at least one tier")
+	}
+	seen := map[string]bool{}
+	for i, t := range cfg.Tiers {
+		if t.Name == "" {
+			return nil, fmt.Errorf("serve: tier %d has no name", i)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("serve: duplicate tier name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Runner == nil {
+			return nil, fmt.Errorf("serve: tier %q has no runner", t.Name)
+		}
+	}
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		breakers: make([]*Breaker, len(cfg.Tiers)),
+		tierLat:  make([]*obs.Histogram, len(cfg.Tiers)),
+		tenants:  map[string]*tenantQueue{},
+		rng:      linalg.NewRNG(cfg.Seed),
+	}
+	for i, t := range cfg.Tiers {
+		s.breakers[i] = NewBreaker(cfg.BreakerTrip, cfg.BreakerCooldown)
+		s.tierLat[i] = obs.NewHistogram("serve.tier."+t.Name+".latency_seconds", obs.LatencyBuckets)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Breaker returns tier i's circuit breaker (tests inspect and
+// manipulate it).
+func (s *Server) Breaker(i int) *Breaker { return s.breakers[i] }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// InferRequest is the POST /v1/infer body.
+type InferRequest struct {
+	// Tenant keys the bounded admission queue; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Inputs is a batch of input rows, all the same width.
+	Inputs [][]float64 `json:"inputs"`
+	// DeadlineMS overrides the server's default deadline, capped at
+	// Config.MaxDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// InferResponse is the 200 body: outputs plus the resilience
+// annotations — which tier actually served the request, how far down
+// the ladder it shed, and how many retries it burned.
+type InferResponse struct {
+	Tier          string      `json:"tier"`
+	RequestedTier string      `json:"requested_tier"`
+	Shed          int         `json:"shed"`
+	Retries       int         `json:"retries"`
+	Outputs       [][]float64 `json:"outputs"`
+	ElapsedMS     float64     `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the typed non-200 body (429, 504, 503, 400).
+type ErrorResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// errExhausted wraps the last tier error when every rung of the
+// ladder failed.
+type errExhausted struct{ last error }
+
+func (e errExhausted) Error() string { return fmt.Sprintf("all tiers failed: %v", e.last) }
+func (e errExhausted) Unwrap() error { return e.last }
+
+// canceled reports whether err is a context cancellation outcome.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// transient reports whether err is worth retrying on the same tier: a
+// chaos-injected fault or a degraded/diverged circuit solve (which
+// also matches linalg.ErrNoConvergence through the xbar sentinel).
+func transient(err error) bool {
+	return errors.Is(err, ErrChaos) || errors.Is(err, xbar.ErrNewtonDiverged)
+}
+
+func (s *Server) tenant(name string) *tenantQueue {
+	if name == "" {
+		name = "default"
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantQueue{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// loadFactor is the admission pressure signal the shed ladder keys
+// on: (queued + executing) / MaxInFlight. 1.0 means every slot busy
+// and nobody waiting; 2.0 means a full slot's worth of queue behind
+// every slot.
+func (s *Server) loadFactor() float64 {
+	return float64(int64(len(s.sem))+s.queued.Load()) / float64(cap(s.sem))
+}
+
+// splitRNG derives an independent per-request jitter stream.
+func (s *Server) splitRNG() *linalg.RNG {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	return s.rng.Split()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type tierHealth struct {
+		Name    string `json:"name"`
+		Breaker string `json:"breaker"`
+	}
+	tiers := make([]tierHealth, len(s.cfg.Tiers))
+	for i, t := range s.cfg.Tiers {
+		tiers[i] = tierHealth{Name: t.Name, Breaker: s.breakers[i].State().String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"in":     s.cfg.In,
+		"out":    s.cfg.Out,
+		"load":   s.loadFactor(),
+		"tiers":  tiers,
+	})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	start := time.Now()
+
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		mBadInput.Inc()
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	x, err := denseOf(req.Inputs, s.cfg.In)
+	if err != nil {
+		mBadInput.Inc()
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	deadline := s.cfg.Deadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	release, ok := s.admit(ctx, w, req.Tenant)
+	if !ok {
+		return // admit wrote the 429/504
+	}
+	defer release()
+
+	y, tier, shed, retries, err := s.execute(ctx, x)
+	mLatency.ObserveSince(start)
+	switch {
+	case err == nil:
+		mOK.Inc()
+		writeJSON(w, http.StatusOK, InferResponse{
+			Tier:          s.cfg.Tiers[tier].Name,
+			RequestedTier: s.cfg.Tiers[0].Name,
+			Shed:          shed,
+			Retries:       retries,
+			Outputs:       rowsOf(y),
+			ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	case canceled(err):
+		mTimeout.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded: " + err.Error()})
+	default:
+		mExhausted.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error:        err.Error(),
+			RetryAfterMS: s.cfg.Backoff.Cap.Milliseconds(),
+		})
+	}
+}
+
+// admit runs the bounded-queue + semaphore admission protocol. On
+// rejection or timeout it writes the typed response and returns
+// ok=false; on success the caller owns an in-flight slot and must
+// call release.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string) (release func(), ok bool) {
+	tq := s.tenant(tenant)
+	if tq.queued.Add(1) > int64(s.cfg.TenantQueue) {
+		tq.queued.Add(-1)
+		mRejected.Inc()
+		retryAfter := s.cfg.Deadline / 2
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())+1))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:        "tenant queue full",
+			RetryAfterMS: retryAfter.Milliseconds(),
+		})
+		return nil, false
+	}
+	s.queued.Add(1)
+	mQueueDepth.Set(s.queued.Load())
+	dequeue := func() {
+		tq.queued.Add(-1)
+		s.queued.Add(-1)
+		mQueueDepth.Set(s.queued.Load())
+	}
+
+	if d, stall := s.cfg.Chaos.stall(); stall {
+		mChaosStalls.Inc()
+		sleepCtx(ctx, d) // park in the queue; deadline still applies
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		dequeue()
+		mInFlight.Set(int64(len(s.sem)))
+		return func() {
+			<-s.sem
+			mInFlight.Set(int64(len(s.sem)))
+		}, true
+	case <-ctx.Done():
+		dequeue()
+		mTimeout.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded in admission queue"})
+		return nil, false
+	}
+}
+
+// execute walks the degradation ladder: skip tiers whose breaker is
+// open, whose fidelity is distrusted, or that the current load factor
+// sheds; run the first eligible tier with retry/backoff; on
+// non-transient or exhausted-retry failure fall to the next rung. The
+// floor tier is never skipped — only a hard failure or cancellation
+// ends the ladder without a result.
+func (s *Server) execute(ctx context.Context, x *linalg.Dense) (y *linalg.Dense, tier, shed, retries int, err error) {
+	rng := s.splitRNG()
+	var lastErr error
+	for i := range s.cfg.Tiers {
+		floor := i == len(s.cfg.Tiers)-1
+		if !floor {
+			if t := &s.cfg.Tiers[i]; t.ShedAt > 0 && s.loadFactor() >= t.ShedAt {
+				mShed.Inc()
+				mShedOverload.Inc()
+				shed++
+				continue
+			} else if t.Distrust != nil && t.Distrust() {
+				mShed.Inc()
+				mShedDrift.Inc()
+				shed++
+				continue
+			} else if !s.breakers[i].Allow() {
+				mShed.Inc()
+				mShedBreaker.Inc()
+				shed++
+				continue
+			}
+		}
+		var r int
+		y, r, err = s.runTier(ctx, i, x, rng)
+		retries += r
+		if err == nil {
+			return y, i, shed, retries, nil
+		}
+		if canceled(err) {
+			return nil, i, shed, retries, err
+		}
+		lastErr = err
+		if !floor {
+			mShed.Inc()
+			mShedError.Inc()
+			shed++
+		}
+	}
+	return nil, 0, shed, retries, errExhausted{lastErr}
+}
+
+// runTier executes one tier with the retry/backoff schedule, feeding
+// the tier's breaker. Cancellation aborts immediately; a half-open
+// probe that gets cancelled re-opens the breaker so it cannot wedge
+// in the half-open state.
+func (s *Server) runTier(ctx context.Context, i int, x *linalg.Dense, rng *linalg.RNG) (*linalg.Dense, int, error) {
+	b := s.breakers[i]
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		start := obs.Now()
+		y, err := s.attempt(ctx, i, x)
+		s.tierLat[i].ObserveSince(start)
+		if err == nil {
+			b.Success()
+			return y, retries, nil
+		}
+		if canceled(err) {
+			if b.State() == BreakerHalfOpen {
+				b.Failure()
+			}
+			return nil, retries, err
+		}
+		if b.Failure() {
+			mBreakerTrips.Inc()
+		}
+		if !transient(err) || attempt >= s.cfg.RetryMax {
+			return nil, retries, err
+		}
+		retries++
+		mRetry.Inc()
+		if !sleepCtx(ctx, s.cfg.Backoff.Delay(attempt, rng)) {
+			return nil, retries, fmt.Errorf("serve: cancelled during backoff: %w", ctx.Err())
+		}
+	}
+}
+
+// attempt runs tier i once, applying the chaos layer first (unless
+// the policy spares the floor).
+func (s *Server) attempt(ctx context.Context, i int, x *linalg.Dense) (*linalg.Dense, error) {
+	floor := i == len(s.cfg.Tiers)-1
+	if c := s.cfg.Chaos; c.enabled() && !(c.SpareFloor && floor) {
+		lat, fail := c.draw()
+		if lat > 0 && !sleepCtx(ctx, lat) {
+			return nil, fmt.Errorf("serve: cancelled during chaos latency: %w", ctx.Err())
+		}
+		if fail {
+			mChaosFaults.Inc()
+			return nil, ErrChaos
+		}
+	}
+	return s.cfg.Tiers[i].Runner.ForwardContext(ctx, x)
+}
+
+// denseOf validates a JSON input batch (non-empty, rectangular, width
+// in when in > 0) and packs it into a Dense.
+func denseOf(rows [][]float64, in int) (*linalg.Dense, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("inputs must contain at least one row")
+	}
+	width := len(rows[0])
+	if width == 0 {
+		return nil, errors.New("input rows must be non-empty")
+	}
+	if in > 0 && width != in {
+		return nil, fmt.Errorf("input rows have %d features, model expects %d", width, in)
+	}
+	x := linalg.NewDense(len(rows), width)
+	for i, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("input row %d has %d features, row 0 has %d", i, len(row), width)
+		}
+		copy(x.Row(i), row)
+	}
+	return x, nil
+}
+
+// rowsOf unpacks a Dense into JSON-ready rows.
+func rowsOf(y *linalg.Dense) [][]float64 {
+	rows := make([][]float64, y.Rows)
+	for i := range rows {
+		rows[i] = y.Row(i)
+	}
+	return rows
+}

@@ -1,6 +1,7 @@
 package xbar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -49,9 +50,9 @@ type ItemOutcome struct {
 	Retries int
 	// Recovery names the ladder rung that produced the accepted
 	// solution ("" for a plain Newton solve).
-	Recovery  string
-	Converged bool
-	Residual  float64
+	Recovery                                                     string
+	Converged                                                    bool
+	Residual                                                     float64
 	NewtonIters, CGIters, LUFallbacks, CGBreakdowns, DampedSteps int
 }
 
@@ -303,6 +304,17 @@ func (s *BatchSolver) SolveReport(vs *linalg.Dense) (*linalg.Dense, *BatchReport
 // only. Results are deterministic and independent of worker count:
 // every item is solved from a cold start and written by index.
 func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*BatchReport, error) {
+	return s.SolveReportIntoContext(nil, out, vs)
+}
+
+// SolveReportIntoContext is SolveReportInto under cooperative
+// cancellation: workers stop drawing new items once ctx is done, the
+// in-flight solves abort at their next Newton update, and the call
+// returns an error matching ctx.Err(). On cancellation the output and
+// report are incomplete and must be discarded — cancellation is a
+// whole-call outcome, not a per-item one. A nil ctx behaves exactly
+// like SolveReportInto.
+func (s *BatchSolver) SolveReportIntoContext(ctx context.Context, out *linalg.Dense, vs *linalg.Dense) (*BatchReport, error) {
 	cfg := s.cfg
 	if vs.Cols != cfg.Rows {
 		return nil, fmt.Errorf("xbar: BatchSolve inputs have %d columns for %d rows", vs.Cols, cfg.Rows)
@@ -332,8 +344,11 @@ func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*Bat
 			return nil, err
 		}
 		for b := 0; b < vs.Rows; b++ {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
 			s.armFaults(xb, b)
-			rep.Outcomes[b] = solveItem(xb, vs.Row(b), out.Row(b))
+			rep.Outcomes[b] = solveItem(ctx, xb, vs.Row(b), out.Row(b))
 		}
 		s.release(xb)
 	} else {
@@ -363,6 +378,9 @@ func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*Bat
 				}
 				defer s.release(xb)
 				for b := range next {
+					if ctx != nil && ctx.Err() != nil {
+						return
+					}
 					mu.Lock()
 					dead := setupErr != nil
 					mu.Unlock()
@@ -370,13 +388,18 @@ func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*Bat
 						return
 					}
 					s.armFaults(xb, b)
-					rep.Outcomes[b] = solveItem(xb, vs.Row(b), out.Row(b))
+					rep.Outcomes[b] = solveItem(ctx, xb, vs.Row(b), out.Row(b))
 				}
 			}()
 		}
 		wg.Wait()
 		if setupErr != nil {
 			return nil, setupErr
+		}
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("xbar: batch solve cancelled: %w", cerr)
 		}
 	}
 	for _, o := range rep.Outcomes {
@@ -399,13 +422,18 @@ func (s *BatchSolver) armFaults(xb *Crossbar, b int) {
 
 // solveItem solves one batch item, retrying once under the recovery
 // ladder on failure, and writes the currents into dst (zeroed on
-// failure).
-func solveItem(xb *Crossbar, v, dst []float64) ItemOutcome {
-	sol, err := xb.Solve(v)
+// failure). A cancelled item is recorded as failed without retrying —
+// its caller discards the whole report anyway.
+func solveItem(ctx context.Context, xb *Crossbar, v, dst []float64) ItemOutcome {
+	sol, err := xb.solve(ctx, v, xb.cfg.Policy)
 	if err != nil {
+		if canceled(err) {
+			linalg.Fill(dst, 0)
+			return ItemOutcome{Status: ItemFailed, Err: err}
+		}
 		// Retry once with the ladder forced on — rescues items that
 		// failed under PolicyFailFast or hit a transient solver corner.
-		retrySol, retryErr := xb.solve(v, PolicyRecover)
+		retrySol, retryErr := xb.solve(ctx, v, PolicyRecover)
 		if retryErr != nil {
 			linalg.Fill(dst, 0)
 			return ItemOutcome{Status: ItemFailed, Err: retryErr, Retries: 1}

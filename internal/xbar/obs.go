@@ -11,15 +11,16 @@ import (
 // process-wide obs registry. The full catalog is documented in
 // DESIGN.md §7.
 var (
-	mSolves        = obs.NewCounter("xbar.solver.solves")
-	mSolveFailures = obs.NewCounter("xbar.solver.failures")
-	mSolveLatency  = obs.NewHistogram("xbar.solver.latency_seconds", obs.LatencyBuckets)
-	mNewtonIters   = obs.NewHistogram("xbar.solver.newton_iters", obs.IterBuckets)
-	mCGIters       = obs.NewHistogram("xbar.solver.cg_iters", obs.IterBuckets)
-	mDampedSteps   = obs.NewCounter("xbar.solver.damped_steps")
-	mCGBreakdowns  = obs.NewCounter("xbar.solver.cg_breakdowns")
-	mLUFallbacks   = obs.NewCounter("xbar.solver.lu_fallbacks")
-	mUnconverged   = obs.NewCounter("xbar.solver.unconverged")
+	mSolves         = obs.NewCounter("xbar.solver.solves")
+	mSolveFailures  = obs.NewCounter("xbar.solver.failures")
+	mSolveCancelled = obs.NewCounter("xbar.solver.cancelled")
+	mSolveLatency   = obs.NewHistogram("xbar.solver.latency_seconds", obs.LatencyBuckets)
+	mNewtonIters    = obs.NewHistogram("xbar.solver.newton_iters", obs.IterBuckets)
+	mCGIters        = obs.NewHistogram("xbar.solver.cg_iters", obs.IterBuckets)
+	mDampedSteps    = obs.NewCounter("xbar.solver.damped_steps")
+	mCGBreakdowns   = obs.NewCounter("xbar.solver.cg_breakdowns")
+	mLUFallbacks    = obs.NewCounter("xbar.solver.lu_fallbacks")
+	mUnconverged    = obs.NewCounter("xbar.solver.unconverged")
 
 	// Rescue-rung counters: a categorical histogram over which ladder
 	// rung produced each accepted solution.

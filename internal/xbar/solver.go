@@ -1,6 +1,7 @@
 package xbar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -125,13 +126,31 @@ type Solution struct {
 // PolicyBestEffort a failed ladder returns the lowest-residual iterate
 // with Converged=false instead of an error.
 func (x *Crossbar) Solve(v []float64) (*Solution, error) {
-	return x.solve(v, x.cfg.Policy)
+	return x.solve(nil, v, x.cfg.Policy)
+}
+
+// SolveContext is Solve under cooperative cancellation: the Newton
+// iteration checks ctx between updates and aborts — mid-ladder, before
+// the next linear solve — as soon as the context is done, returning an
+// error that matches ctx.Err() under errors.Is. A nil ctx behaves like
+// Solve. Cancellation is how serving deadlines actually stop circuit
+// work instead of letting an abandoned request keep burning CG
+// iterations.
+func (x *Crossbar) SolveContext(ctx context.Context, v []float64) (*Solution, error) {
+	return x.solve(ctx, v, x.cfg.Policy)
+}
+
+// canceled reports whether err stems from context cancellation or
+// deadline expiry (as opposed to a genuine solver failure).
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // solve validates the drive vector, runs the recovery ladder under an
 // explicit policy (BatchSolve retries override the configured one) and
-// records the solve in the obs registry.
-func (x *Crossbar) solve(v []float64, policy SolverPolicy) (*Solution, error) {
+// records the solve in the obs registry. ctx may be nil (no
+// cancellation).
+func (x *Crossbar) solve(ctx context.Context, v []float64, policy SolverPolicy) (*Solution, error) {
 	cfg := x.cfg
 	if len(v) != cfg.Rows {
 		return nil, fmt.Errorf("xbar: Solve with %d inputs on %d rows", len(v), cfg.Rows)
@@ -143,8 +162,14 @@ func (x *Crossbar) solve(v []float64, policy SolverPolicy) (*Solution, error) {
 	}
 	start := obs.Now()
 	region := obs.StartRegion("xbar.solve")
-	sol, err := x.runLadder(v, policy)
+	sol, err := x.runLadder(ctx, v, policy)
 	region.End()
+	if err != nil && canceled(err) {
+		if obs.Enabled() {
+			mSolveCancelled.Inc()
+		}
+		return nil, err // cancellation is not a solver failure; skip recordSolve
+	}
 	if obs.Enabled() {
 		recordSolve(sol, err, start)
 	}
@@ -153,8 +178,9 @@ func (x *Crossbar) solve(v []float64, policy SolverPolicy) (*Solution, error) {
 
 // runLadder is the uninstrumented recovery ladder: plain Newton →
 // damped Newton → source stepping, with best-effort reporting under
-// PolicyBestEffort.
-func (x *Crossbar) runLadder(v []float64, policy SolverPolicy) (*Solution, error) {
+// PolicyBestEffort. A cancelled ctx aborts the ladder immediately —
+// recovery rungs are never attempted for a caller that has gone away.
+func (x *Crossbar) runLadder(ctx context.Context, v []float64, policy SolverPolicy) (*Solution, error) {
 	sol := &Solution{}
 	var attempts []string
 	var cause error
@@ -181,7 +207,10 @@ func (x *Crossbar) runLadder(v []float64, policy SolverPolicy) (*Solution, error
 	// an unrelated input can put the iteration in a bad basin and costs
 	// reproducibility.
 	linalg.Fill(x.volt, 0)
-	ok, err := x.newtonIterate(v, false, policy, sol)
+	ok, err := x.newtonIterate(ctx, v, false, policy, sol)
+	if err != nil && canceled(err) {
+		return nil, err
+	}
 	if record(ok, 0, "newton") {
 		return x.finish(v, sol, ""), nil
 	}
@@ -196,7 +225,10 @@ func (x *Crossbar) runLadder(v []float64, policy SolverPolicy) (*Solution, error
 	// Rung 1: damped Newton — same cold start, but steps that increase
 	// the KCL residual are backtracked along the Newton direction.
 	linalg.Fill(x.volt, 0)
-	ok, err = x.newtonIterate(v, true, policy, sol)
+	ok, err = x.newtonIterate(ctx, v, true, policy, sol)
+	if err != nil && canceled(err) {
+		return nil, err
+	}
 	if err != nil && cause == nil {
 		cause = err
 	}
@@ -207,7 +239,10 @@ func (x *Crossbar) runLadder(v []float64, policy SolverPolicy) (*Solution, error
 	// Rung 2: source stepping — ramp the drive to its target in stages,
 	// warm-starting each stage from the previous one. Continuation
 	// keeps every stage inside Newton's convergence basin.
-	ok, err = x.sourceStep(v, policy, sol)
+	ok, err = x.sourceStep(ctx, v, policy, sol)
+	if err != nil && canceled(err) {
+		return nil, err
+	}
 	if err != nil && cause == nil {
 		cause = err
 	}
@@ -288,7 +323,7 @@ func (x *Crossbar) kclResidual() float64 {
 // drive vector v. It reports convergence; a non-nil error means the
 // attempt aborted on a linear-solver failure that the LU fallback
 // could not rescue.
-func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, sol *Solution) (bool, error) {
+func (x *Crossbar) newtonIterate(ctx context.Context, v []float64, damped bool, policy SolverPolicy, sol *Solution) (bool, error) {
 	prevResid := math.Inf(1)
 	// lastStep is the max |Δv| of the last *applied* update — after a
 	// damped backtrack this is the shortened step, not the full Newton
@@ -301,6 +336,14 @@ func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, 
 	scale := 1.0
 	update := 0
 	for iter := 0; iter < x.maxNewton; iter++ {
+		// Cooperative cancellation: one cheap Err check per Newton
+		// update, so a revoked deadline stops the solve before its next
+		// linear system instead of after the whole ladder.
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return false, fmt.Errorf("xbar: solve cancelled at Newton update %d: %w", update, cerr)
+			}
+		}
 		x.assemble(v)
 		resid := x.kclResidual()
 		forced := x.faults != nil && x.faults.BacktrackEvery && scale == 1 && !math.IsInf(fullStep, 1)
@@ -381,7 +424,7 @@ func (x *Crossbar) newtonIterate(v []float64, damped bool, policy SolverPolicy, 
 // sourceStep is the continuation rung: it ramps the drive voltages to
 // their targets in sourceSteps stages, solving each with damped Newton
 // warm-started from the previous stage's solution.
-func (x *Crossbar) sourceStep(v []float64, policy SolverPolicy, sol *Solution) (bool, error) {
+func (x *Crossbar) sourceStep(ctx context.Context, v []float64, policy SolverPolicy, sol *Solution) (bool, error) {
 	scaled := make([]float64, len(v)) // rare recovery path; allocation is fine
 	linalg.Fill(x.volt, 0)
 	ok := false
@@ -391,7 +434,7 @@ func (x *Crossbar) sourceStep(v []float64, policy SolverPolicy, sol *Solution) (
 			scaled[i] = f * v[i]
 		}
 		var err error
-		ok, err = x.newtonIterate(scaled, true, policy, sol)
+		ok, err = x.newtonIterate(ctx, scaled, true, policy, sol)
 		if err != nil {
 			return false, err
 		}

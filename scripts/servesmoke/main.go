@@ -1,0 +1,230 @@
+// Command servesmoke is the end-to-end overload gate for the serving
+// frontend: it launches geniex-serve on an ephemeral port with the
+// chaos layer injecting latency and transient errors into the faithful
+// tier, drives a loadgen burst at well beyond the chaotic tier's
+// sustainable rate, and asserts the overload contract — every response
+// is a typed outcome with zero 5xx, and the scraped obs snapshot shows
+// the resilience machinery actually engaged (serve.shed > 0 and
+// serve.retry > 0, i.e. requests were retried on transient failures
+// and shed down the fidelity ladder rather than erroring out).
+//
+// Run it via `make serve-smoke` (check.sh includes it).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// snapshot mirrors the wire shape of obs.SnapshotData closely enough
+// to read the serve.* counters.
+type snapshot struct {
+	Enabled  bool             `json:"enabled"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// loadSummary mirrors the loadgen JSON summary fields the gate
+// asserts on.
+type loadSummary struct {
+	Requests     int            `json:"requests"`
+	StatusCounts map[string]int `json:"status_counts"`
+	TotalRetries int            `json:"total_retries"`
+	TotalShed    int            `json:"total_shed"`
+	FiveXX       int            `json:"fivexx"`
+	Transport    int            `json:"transport_errors"`
+}
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+	if err := run(*timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// A two-rung ladder; the chaos layer makes the faithful tier slow
+	// and flaky while sparing the floor, so the burst below must both
+	// retry (transient chaos errors) and shed (retry exhaustion and
+	// overload) to keep every outcome typed. Deadlines are generous on
+	// purpose: the gate is "no untyped failure", not tail latency.
+	cmd := exec.Command("go", "run", "./cmd/geniex-serve",
+		"-addr", "127.0.0.1:0",
+		"-tiers", "analytical,ideal",
+		"-train", "64", "-epochs", "1", "-channels", "4", "-size", "8",
+		"-max-inflight", "2", "-tenant-queue", "12",
+		"-deadline", "8s", "-retry-max", "2", "-shed-at", "1.25",
+		"-chaos-latency", "30ms", "-chaos-latency-jitter", "10ms",
+		"-chaos-error-rate", "0.6", "-chaos-spare-floor=true",
+		"-chaos-seed", "7")
+	cmd.Stderr = os.Stderr
+	// Run the child in its own process group: `go run` execs the
+	// server binary as a grandchild, and killing only the wrapper
+	// would orphan a listening server holding our pipes open.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting geniex-serve: %w", err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+		}
+		cmd.Wait()
+	}()
+
+	// The child prints the bound address once it is serving; training
+	// output before that is just echoed.
+	addrCh := make(chan string, 1)
+	go func() {
+		re := regexp.MustCompile(`serve: listening on (http://\S+)`)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if m := re.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+
+	var url string
+	select {
+	case url = <-addrCh:
+	case <-time.After(3 * time.Minute):
+		return fmt.Errorf("geniex-serve never printed its listen address")
+	}
+
+	// The chaotic faithful tier sustains roughly max-inflight/latency
+	// divided by the expected attempt count — ~30 QPS here — so 120
+	// QPS is a ≥2× overload burst by a wide margin.
+	sum, err := burst(url)
+	if err != nil {
+		return err
+	}
+	if sum.Requests == 0 {
+		return fmt.Errorf("loadgen issued no requests")
+	}
+	if sum.Transport > 0 {
+		return fmt.Errorf("%d transport errors (connection-level failures are untyped outcomes)", sum.Transport)
+	}
+	if sum.FiveXX > 0 {
+		return fmt.Errorf("%d 5xx responses under overload, want 0 (statuses: %v)", sum.FiveXX, sum.StatusCounts)
+	}
+	for status := range sum.StatusCounts {
+		switch status {
+		case "200", "429":
+		default:
+			return fmt.Errorf("untyped status %s in %v (want only 200/429 with this deadline budget)", status, sum.StatusCounts)
+		}
+	}
+	fmt.Printf("servesmoke: burst OK: %d requests, statuses %v, retries=%d shed=%d\n",
+		sum.Requests, sum.StatusCounts, sum.TotalRetries, sum.TotalShed)
+
+	// The counters are cumulative, so one post-burst scrape suffices;
+	// poll briefly in case the last responses are still being written.
+	var lastErr error
+	for time.Now().Before(deadline) {
+		snap, err := scrape(url + "/metrics")
+		if err != nil {
+			lastErr = err
+		} else if err := checkCounters(snap); err != nil {
+			lastErr = err
+		} else {
+			fmt.Printf("servesmoke: metrics OK: shed=%d retry=%d rejected=%d ok=%d\n",
+				snap.Counters["serve.shed"], snap.Counters["serve.retry"],
+				snap.Counters["serve.rejected"], snap.Counters["serve.ok"])
+			return nil
+		}
+		time.Sleep(time.Second)
+	}
+	return fmt.Errorf("deadline exceeded; last state: %w", lastErr)
+}
+
+// burst shells out to scripts/loadgen so the smoke covers its
+// machine-readable summary too, and reads the result from -out.
+func burst(url string) (*loadSummary, error) {
+	outFile, err := os.CreateTemp("", "servesmoke-load-*.json")
+	if err != nil {
+		return nil, err
+	}
+	outPath := outFile.Name()
+	outFile.Close()
+	defer os.Remove(outPath)
+
+	cmd := exec.Command("go", "run", "./scripts/loadgen",
+		"-url", url, "-qps", "120", "-duration", "3s",
+		"-tenants", "3", "-out", outPath)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loadgen burst: %w", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading loadgen summary: %w", err)
+	}
+	var sum loadSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("loadgen summary is not valid JSON: %w", err)
+	}
+	return &sum, nil
+}
+
+func scrape(url string) (*snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		return nil, fmt.Errorf("metrics endpoint served %q, want application/json", ct)
+	}
+	var snap snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("malformed JSON snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// checkCounters asserts the resilience machinery engaged during the
+// burst: requests flowed, some were retried on transient chaos
+// failures, and some were shed down the ladder.
+func checkCounters(snap *snapshot) error {
+	if !snap.Enabled {
+		return fmt.Errorf("obs registry is disabled in the child")
+	}
+	if snap.Counters["serve.ok"] == 0 {
+		return fmt.Errorf("serve.ok is zero: no request succeeded")
+	}
+	for _, name := range []string{"serve.shed", "serve.retry"} {
+		if snap.Counters[name] == 0 {
+			return fmt.Errorf("%s is zero: the burst did not exercise it", name)
+		}
+	}
+	return nil
+}
