@@ -10,9 +10,9 @@ GO ?= go
 # instrumentation.
 RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs ./internal/serve
 
-.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke
+.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke sweep-smoke
 
-check: fmt vet build test race obs-smoke trace-smoke serve-smoke
+check: fmt vet build test race obs-smoke trace-smoke serve-smoke sweep-smoke
 
 # gofmt cleanliness gate: fails listing the offending files.
 fmt:
@@ -33,10 +33,10 @@ race:
 
 # MVM pipeline benchmarks: serial vs parallel wall-clock and the
 # allocs/op contract (ideal steady state must report 0 allocs/op).
-# benchjson tees the table to stdout and writes BENCH_PR6.json.
+# benchjson tees the table to stdout and writes BENCH_PR7.json.
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem . \
-		| $(GO) run ./scripts/benchjson -out BENCH_PR6.json
+		| $(GO) run ./scripts/benchjson -out BENCH_PR7.json
 
 # End-to-end metrics gate: run a tiny funcsim-run with -metrics-addr,
 # the fidelity probe, and trace export, scrape the endpoint, and assert
@@ -59,3 +59,9 @@ trace-smoke:
 # assert zero 5xx plus nonzero serve.shed and serve.retry counters.
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
+
+# End-to-end crash-resume gate: run a tiny scenario grid, SIGKILL a
+# second run mid-grid, resume it, and assert no cell ran twice and
+# every result file is byte-identical to the uninterrupted run's.
+sweep-smoke:
+	$(GO) run ./scripts/sweepsmoke

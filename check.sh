@@ -16,3 +16,4 @@ go run ./cmd/funcsim-run -mode ideal -size 8 -train 24 -test 6 \
 go run ./scripts/tracecheck trace_smoke.json
 rm -f trace_smoke.json
 go run ./scripts/servesmoke
+go run ./scripts/sweepsmoke

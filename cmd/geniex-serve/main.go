@@ -28,6 +28,7 @@ import (
 	"geniex/internal/dataset"
 	"geniex/internal/funcsim"
 	"geniex/internal/models"
+	"geniex/internal/nonideal"
 	"geniex/internal/obs"
 	"geniex/internal/quant"
 	"geniex/internal/serve"
@@ -89,6 +90,8 @@ func run() error {
 		chaosStallN   = flag.Int("chaos-stall-every", 0, "chaos: stall every nth admitted request (0 disables)")
 		chaosStall    = flag.Duration("chaos-stall", 0, "chaos: queue-stall duration")
 		chaosFailAtt  = flag.Int("chaos-fail-attempts", 0, "chaos: xbar fault plan — fail the first n solve attempts per circuit batch item")
+		chaosStuckOn  = flag.Float64("chaos-stuck-on", 0, "chaos: probability a circuit-tier cell is stuck at Gon")
+		chaosStuckOff = flag.Float64("chaos-stuck-off", 0, "chaos: probability a circuit-tier cell is stuck at Goff")
 		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos: injection schedule seed")
 		metricsEnable = flag.Bool("metrics", true, "enable the obs registry")
 		withPprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -129,8 +132,12 @@ func run() error {
 		StallEvery: *chaosStallN, Stall: *chaosStall,
 		Seed: *chaosSeed,
 	}
-	if *chaosFailAtt > 0 {
+	if *chaosFailAtt > 0 || *chaosStuckOn > 0 || *chaosStuckOff > 0 {
 		chaos.Faults = &xbar.FaultPlan{FailAttempts: *chaosFailAtt}
+		if *chaosStuckOn > 0 || *chaosStuckOff > 0 {
+			chaos.Faults.StuckAt = &nonideal.StuckAt{POn: *chaosStuckOn, POff: *chaosStuckOff}
+			chaos.Faults.StuckSeed = *chaosSeed
+		}
 	}
 
 	var ladder []serve.Tier

@@ -53,6 +53,21 @@ func DefaultRRAMParams() RRAMParams {
 	return RRAMParams{I0: 1e-4, D0: 0.25e-9, V0: 0.4}
 }
 
+// GapForConductance inverts the low-bias conductance relation of the
+// compact model: given g = I0·exp(−d/d0)/V0, it returns the filament
+// gap d in metres. It is the bridge the non-ideality library uses to
+// express conductance aging as physical gap growth. g must be
+// strictly positive.
+func (p RRAMParams) GapForConductance(g float64) float64 {
+	return -p.D0 * math.Log(g*p.V0/p.I0)
+}
+
+// ConductanceForGap is the forward relation: the low-bias conductance
+// of a cell with filament gap d (metres).
+func (p RRAMParams) ConductanceForGap(d float64) float64 {
+	return p.I0 * math.Exp(-d/p.D0) / p.V0
+}
+
 // RRAM is a filamentary RRAM cell in a fixed resistance state. The
 // state is captured by the filament gap d; the constructor maps a
 // target low-bias conductance to the equivalent gap, so callers think
@@ -74,7 +89,7 @@ func NewRRAM(g float64, p RRAMParams) *RRAM {
 		panic(fmt.Sprintf("device: RRAM conductance must be positive, got %g", g))
 	}
 	// g = I0·exp(−d/d0)/V0  ⇒  d = −d0·ln(g·V0/I0).
-	gap := -p.D0 * math.Log(g*p.V0/p.I0)
+	gap := p.GapForConductance(g)
 	return &RRAM{params: p, gap: gap, scale: g * p.V0}
 }
 

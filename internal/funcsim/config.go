@@ -1,6 +1,7 @@
 package funcsim
 
 import (
+	"geniex/internal/nonideal"
 	"geniex/internal/quant"
 	"geniex/internal/xbar"
 )
@@ -32,6 +33,10 @@ func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 // WithProbeRate enables the online fidelity probe at a 1-in-n tile
 // sampling rate (0 disables; see Config.ProbeRate and Probe).
 func WithProbeRate(n int) Option { return func(c *Config) { c.ProbeRate = n } }
+
+// WithScenario perturbs every lowered tile with the given non-ideality
+// scenario (nil disables; see Config.Scenario).
+func WithScenario(sc *nonideal.Scenario) Option { return func(c *Config) { c.Scenario = sc } }
 
 // NewConfig builds a validated architecture: the paper's nominal
 // parameters (DefaultConfig) on the given crossbar design point,

@@ -9,6 +9,7 @@ import (
 
 	"geniex/internal/core"
 	"geniex/internal/linalg"
+	"geniex/internal/nonideal"
 	"geniex/internal/obs"
 	"geniex/internal/quant"
 	"geniex/internal/xbar"
@@ -44,6 +45,16 @@ type Config struct {
 	// default) disables probing entirely — the hot path then pays one
 	// nil check per tile task and keeps no conductance copies.
 	ProbeRate int
+	// Scenario, when non-nil and non-empty, perturbs every lowered
+	// tile's conductances with its non-ideality stack (stuck-at faults,
+	// programming variation, drift, ...). The perturbation happens once
+	// at Lower time, on the per-slice conductance matrices every analog
+	// model is built from, so all fidelity tiers — ideal, analytical,
+	// GENIEx, circuit — and the fidelity probe see the same faulted
+	// array. Sub-seeds are position-keyed per (tile, slice, sign), so a
+	// lowering is bit-reproducible from Scenario.Seed at any worker
+	// count.
+	Scenario *nonideal.Scenario
 }
 
 // DefaultConfig returns the paper's nominal architecture: 16-bit
@@ -89,6 +100,9 @@ func (c Config) Validate() error {
 	}
 	if c.ProbeRate < 0 {
 		return fmt.Errorf("funcsim: ProbeRate must be non-negative, got %d", c.ProbeRate)
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -196,6 +210,10 @@ type Matrix struct {
 	probe *Probe
 	id    int
 
+	// nonideal aggregates what Config.Scenario did to this matrix's
+	// crossbars at lowering; the zero report means a clean lowering.
+	nonideal nonideal.Report
+
 	stats matrixStats
 
 	// runs is the freelist of pooled per-MVM scratch state; see mvmRun.
@@ -264,6 +282,28 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 					}
 				}
 			}
+			// Non-ideality injection: perturb the programmed conductances
+			// before any model tile is built, so every tier (and the
+			// probe's shadow solves) runs on the same faulted array.
+			// Sub-seeds are position-keyed, making the lowering
+			// reproducible regardless of tile order or worker count.
+			if sc := cfg.Scenario; sc.Enabled() {
+				env := xbar.EnvFromConfig(cfg.Xbar)
+				for l := 0; l < kw; l++ {
+					rep, err := sc.ApplyTile(posG[l], env, tr, tc, l, 0)
+					if err != nil {
+						return nil, fmt.Errorf("funcsim: scenario on tile (%d,%d) slice %d: %w", tr, tc, l, err)
+					}
+					lm.nonideal.Merge(rep)
+					if hasNeg {
+						rep, err = sc.ApplyTile(negG[l], env, tr, tc, l, 1)
+						if err != nil {
+							return nil, fmt.Errorf("funcsim: scenario on tile (%d,%d) slice %d neg: %w", tr, tc, l, err)
+						}
+						lm.nonideal.Merge(rep)
+					}
+				}
+			}
 			var err error
 			if lt.pos, err = e.buildTiles(posG); err != nil {
 				return nil, fmt.Errorf("funcsim: lowering tile (%d,%d): %w", tr, tc, err)
@@ -283,8 +323,16 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 			}
 		}
 	}
+	if obs.Enabled() && cfg.Scenario.Enabled() {
+		mDegradedFraction.Set(int64(lm.nonideal.DegradedFraction() * 1e6))
+	}
 	return lm, nil
 }
+
+// NonIdeal reports what the configured non-ideality scenario did to
+// this matrix's crossbars at lowering time; the zero report means the
+// lowering was clean (no scenario, or an empty stack).
+func (m *Matrix) NonIdeal() nonideal.Report { return m.nonideal }
 
 func (e *Engine) buildTiles(gs []*linalg.Dense) ([]Tile, error) {
 	tiles := make([]Tile, len(gs))

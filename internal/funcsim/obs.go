@@ -14,8 +14,12 @@ var (
 	mFreelistHits   = obs.NewCounter("funcsim.run.freelist_hits")
 	mFreelistMisses = obs.NewCounter("funcsim.run.freelist_misses")
 	mDegradedItems  = obs.NewCounter("funcsim.circuit.degraded_items")
-	mLayerLatency   = obs.NewHistogram("funcsim.forward.layer_seconds", obs.LatencyBuckets)
-	mForwardLatency = obs.NewHistogram("funcsim.forward.latency_seconds", obs.LatencyBuckets)
+	// mDegradedFraction reports the fraction of physical crossbars that
+	// carry at least one stuck cell after the last lowering, in parts
+	// per million (the obs registry stores integers; divide by 1e6).
+	mDegradedFraction = obs.NewGauge("funcsim.tile.degraded_fraction")
+	mLayerLatency     = obs.NewHistogram("funcsim.forward.layer_seconds", obs.LatencyBuckets)
+	mForwardLatency   = obs.NewHistogram("funcsim.forward.latency_seconds", obs.LatencyBuckets)
 
 	// Fidelity metrics: the divergence probe (see Probe) and the
 	// experiment harnesses publish emulator-vs-circuit comparisons

@@ -1,0 +1,311 @@
+package nonideal
+
+import (
+	"fmt"
+	"math"
+
+	"geniex/internal/linalg"
+)
+
+// Stable component kinds. These are wire-format identifiers: changing
+// one breaks stored scenarios and checkpointed sweeps.
+const (
+	KindStuckAt        = "stuck_at"
+	KindD2DVariation   = "d2d_variation"
+	KindC2CVariation   = "c2c_variation"
+	KindDrift          = "drift"
+	KindLineResistance = "line_resistance"
+	KindReadNoise      = "read_noise"
+)
+
+// StuckAt forces cells to the rails: POn to Gon (stuck-ON shorts),
+// POff to Goff (stuck-OFF opens) — the hard faults of the paper's
+// Table 2 and the defect-mapping literature. Faults are a fixed
+// per-device fingerprint: the stream depends only on the seed, so the
+// same array keeps the same defects across re-programming cycles.
+//
+// With Cluster ≤ 1 each cell faults independently. With Cluster = c >
+// 1, faults arrive as c×c spatial patches (clamped at the array edge)
+// around randomly placed centers — the correlated defect clusters real
+// arrays show along damaged lines — with the expected total fault
+// fraction preserved.
+type StuckAt struct {
+	// POn and POff are the per-cell probabilities of sticking at Gon
+	// and Goff respectively. POn+POff must stay within [0, 1].
+	POn  float64 `json:"p_on,omitempty"`
+	POff float64 `json:"p_off,omitempty"`
+	// Cluster is the side length of the square fault patches; 0 and 1
+	// both mean independent single-cell faults.
+	Cluster int `json:"cluster,omitempty"`
+}
+
+// Kind implements Component.
+func (*StuckAt) Kind() string { return KindStuckAt }
+
+// Validate implements Component.
+func (s *StuckAt) Validate() error {
+	if s.POn < 0 || s.POff < 0 || s.POn+s.POff > 1 {
+		return fmt.Errorf("nonideal: stuck-at probabilities on=%g off=%g invalid", s.POn, s.POff)
+	}
+	if s.Cluster < 0 {
+		return fmt.Errorf("nonideal: stuck-at cluster %d negative", s.Cluster)
+	}
+	return nil
+}
+
+// Apply implements Component.
+func (s *StuckAt) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	touched := 0
+	set := func(i, j int, v float64) {
+		if old := g.At(i, j); old != v {
+			g.Set(i, j, v)
+			touched++
+		}
+	}
+	if s.Cluster <= 1 {
+		for i := 0; i < env.Rows; i++ {
+			for j := 0; j < env.Cols; j++ {
+				switch u := rng.Float64(); {
+				case u < s.POn:
+					set(i, j, env.Gon)
+				case u < s.POn+s.POff:
+					set(i, j, env.Goff)
+				}
+			}
+		}
+		return touched, nil
+	}
+	// Clustered: place enough c×c patches to keep the expected fault
+	// fraction at POn/POff. Patches may overlap or clip at the edges,
+	// exactly like physical defect clusters.
+	cells := float64(env.Rows * env.Cols)
+	area := float64(s.Cluster * s.Cluster)
+	stamp := func(n int, v float64) {
+		for k := 0; k < n; k++ {
+			ci, cj := rng.Intn(env.Rows), rng.Intn(env.Cols)
+			for di := 0; di < s.Cluster; di++ {
+				for dj := 0; dj < s.Cluster; dj++ {
+					if i, j := ci+di, cj+dj; i < env.Rows && j < env.Cols {
+						set(i, j, v)
+					}
+				}
+			}
+		}
+	}
+	stamp(poissonRound(s.POn*cells/area, rng), env.Gon)
+	stamp(poissonRound(s.POff*cells/area, rng), env.Goff)
+	return touched, nil
+}
+
+// D2DVariation is device-to-device programming variation: every cell
+// carries a fixed multiplicative log-normal factor exp(σ·N(0,1)) — the
+// per-device fingerprint of an imperfect write-verify loop. Like
+// StuckAt it is time-invariant: re-applying at any clock reading
+// reproduces the same factors.
+type D2DVariation struct {
+	// Sigma is the log-normal standard deviation. Zero is the
+	// identity.
+	Sigma float64 `json:"sigma"`
+}
+
+// Kind implements Component.
+func (*D2DVariation) Kind() string { return KindD2DVariation }
+
+// Validate implements Component.
+func (v *D2DVariation) Validate() error {
+	if v.Sigma < 0 {
+		return fmt.Errorf("nonideal: negative d2d sigma %g", v.Sigma)
+	}
+	return nil
+}
+
+// Apply implements Component.
+func (v *D2DVariation) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	return applyLognormal(g, env, rng, v.Sigma), nil
+}
+
+// C2CVariation is cycle-to-cycle programming variation: the same
+// log-normal perturbation as D2DVariation, but re-drawn on every
+// programming cycle — the Stack folds the scenario clock into its
+// stream, so two lowerings of the same scenario at different times see
+// different draws while a replay at the same (seed, t) is bit-exact.
+type C2CVariation struct {
+	// Sigma is the log-normal standard deviation. Zero is the
+	// identity.
+	Sigma float64 `json:"sigma"`
+}
+
+// Kind implements Component.
+func (*C2CVariation) Kind() string { return KindC2CVariation }
+
+// Validate implements Component.
+func (v *C2CVariation) Validate() error {
+	if v.Sigma < 0 {
+		return fmt.Errorf("nonideal: negative c2c sigma %g", v.Sigma)
+	}
+	return nil
+}
+
+func (*C2CVariation) cycleVarying() {}
+
+// Apply implements Component.
+func (v *C2CVariation) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	return applyLognormal(g, env, rng, v.Sigma), nil
+}
+
+func applyLognormal(g *linalg.Dense, env Env, rng *linalg.RNG, sigma float64) int {
+	if sigma == 0 {
+		return 0
+	}
+	touched := 0
+	for i, old := range g.Data {
+		next := env.clamp(old * lognormal(rng, sigma))
+		if next != old {
+			g.Data[i] = next
+			touched++
+		}
+	}
+	return touched
+}
+
+// Drift ages conductances with the scenario clock through the
+// filamentary device model of package device: retention loss grows the
+// filament gap logarithmically in time, Δd(t) = ν·d0·ln(1 + t/τ0),
+// which in conductance terms is the familiar power-law decay
+// g(t) = Goff + window·(g0 relaxed by (1+t/τ0)^(−ν)). Deterministic —
+// no rng — so aging studies replay exactly.
+type Drift struct {
+	// Nu is the drift exponent ν (0 disables; RRAM retention
+	// literature reports ~0.01–0.1 per decade scale).
+	Nu float64 `json:"nu"`
+	// Tau0 is the reference time τ0 in seconds; zero defaults to 1s.
+	Tau0 float64 `json:"tau0,omitempty"`
+}
+
+// Kind implements Component.
+func (*Drift) Kind() string { return KindDrift }
+
+// Validate implements Component.
+func (d *Drift) Validate() error {
+	if d.Nu < 0 {
+		return fmt.Errorf("nonideal: negative drift exponent %g", d.Nu)
+	}
+	if d.Tau0 < 0 {
+		return fmt.Errorf("nonideal: negative drift tau0 %g", d.Tau0)
+	}
+	return nil
+}
+
+// Apply implements Component.
+func (d *Drift) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	if d.Nu == 0 || t <= 0 {
+		return 0, nil
+	}
+	tau := d.Tau0
+	if tau == 0 {
+		tau = 1
+	}
+	// Gap growth Δd = ν·d0·ln(1+t/τ0) through the compact model: map
+	// conductance → gap, widen, map back. Algebraically equivalent to
+	// multiplying by (1+t/τ0)^(−ν), but routed through the device
+	// package so the aging law and the I-V law share one source of
+	// truth.
+	dgap := d.Nu * env.RRAM.D0 * math.Log(1+t/tau)
+	touched := 0
+	for i, old := range g.Data {
+		gap := env.RRAM.GapForConductance(old) + dgap
+		next := env.clamp(env.RRAM.ConductanceForGap(gap))
+		if next != old {
+			g.Data[i] = next
+			touched++
+		}
+	}
+	return touched, nil
+}
+
+// LineResistance folds first-order IR-drop into the conductances
+// themselves: each cell's effective conductance is divided by
+// 1 + Scale·g·Rpath, where Rpath is the series wire resistance of the
+// cell's worst-case current path (source + word-line segments to the
+// column + bit-line segments to the sink + sink). It lets the cheap
+// tiers (ideal, GENIEx) carry parasitic-line scaling without a solve;
+// circuit-tier scenarios use Scale to model line resistance beyond the
+// nominal netlist values (the netlist already carries the nominal
+// parasitics). Deterministic — no rng.
+type LineResistance struct {
+	// Scale multiplies the physical path resistance; 1 is the nominal
+	// first-order estimate, 0 is invalid (use an empty stack instead).
+	Scale float64 `json:"scale"`
+}
+
+// Kind implements Component.
+func (*LineResistance) Kind() string { return KindLineResistance }
+
+// Validate implements Component.
+func (l *LineResistance) Validate() error {
+	if l.Scale <= 0 {
+		return fmt.Errorf("nonideal: line-resistance scale %g must be positive", l.Scale)
+	}
+	return nil
+}
+
+// Apply implements Component.
+func (l *LineResistance) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	touched := 0
+	for i := 0; i < env.Rows; i++ {
+		// Word-line segments traversed to column j plus bit-line
+		// segments from row i down to the sink.
+		base := env.Rsource + env.Rsink + float64(env.Rows-i)*env.Rwire
+		for j := 0; j < env.Cols; j++ {
+			rpath := l.Scale * (base + float64(j+1)*env.Rwire)
+			old := g.At(i, j)
+			next := env.clamp(old / (1 + old*rpath))
+			if next != old {
+				g.Set(i, j, next)
+				touched++
+			}
+		}
+	}
+	return touched, nil
+}
+
+// ReadNoise adds zero-mean Gaussian conductance noise with standard
+// deviation Sigma × the programming window — the sensed-conductance
+// jitter of thermal and shot noise. Cycle-varying: every application
+// (every programming/read cycle of the scenario clock) draws fresh
+// noise.
+type ReadNoise struct {
+	// Sigma is the noise standard deviation as a fraction of the
+	// conductance window Gon−Goff. Zero is the identity.
+	Sigma float64 `json:"sigma"`
+}
+
+// Kind implements Component.
+func (*ReadNoise) Kind() string { return KindReadNoise }
+
+// Validate implements Component.
+func (n *ReadNoise) Validate() error {
+	if n.Sigma < 0 {
+		return fmt.Errorf("nonideal: negative read-noise sigma %g", n.Sigma)
+	}
+	return nil
+}
+
+func (*ReadNoise) cycleVarying() {}
+
+// Apply implements Component.
+func (n *ReadNoise) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	if n.Sigma == 0 {
+		return 0, nil
+	}
+	std := n.Sigma * (env.Gon - env.Goff)
+	touched := 0
+	for i, old := range g.Data {
+		next := env.clamp(old + rng.NormScaled(0, std))
+		if next != old {
+			g.Data[i] = next
+			touched++
+		}
+	}
+	return touched, nil
+}

@@ -1,0 +1,124 @@
+package nonideal
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"geniex/internal/linalg"
+)
+
+// Every builtin component round-trips through the JSON envelope with
+// its parameters intact.
+func TestJSONRoundTripEveryComponent(t *testing.T) {
+	cases := []Component{
+		&StuckAt{POn: 0.01, POff: 0.02, Cluster: 3},
+		&D2DVariation{Sigma: 0.25},
+		&C2CVariation{Sigma: 0.1},
+		&Drift{Nu: 0.05, Tau0: 10},
+		&LineResistance{Scale: 1.5},
+		&ReadNoise{Sigma: 0.02},
+	}
+	for _, c := range cases {
+		in := Stack{c}
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.Kind(), err)
+		}
+		if !strings.Contains(string(b), `"kind":"`+c.Kind()+`"`) {
+			t.Fatalf("%s: envelope missing kind: %s", c.Kind(), b)
+		}
+		var out Stack
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("%s: unmarshal: %v", c.Kind(), err)
+		}
+		if len(out) != 1 || !reflect.DeepEqual(out[0], c) {
+			t.Fatalf("%s: round trip changed component: %#v -> %#v", c.Kind(), c, out[0])
+		}
+	}
+}
+
+// A decoded stack reproduces the original's perturbation bit-exactly.
+func TestJSONRoundTripPreservesPerturbation(t *testing.T) {
+	env := testEnv()
+	orig := fullStack()
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Stack
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := midMatrix(env), midMatrix(env)
+	if _, err := orig.Apply(ga, env, 21, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decoded.Apply(gb, env, 21, 1e5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ga.Data {
+		if ga.Data[i] != gb.Data[i] {
+			t.Fatalf("decoded stack diverged at cell %d", i)
+		}
+	}
+}
+
+func TestJSONEmptyStackAndScenario(t *testing.T) {
+	var s Stack
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stack
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty stack decoded as %d components", len(back))
+	}
+
+	sc := &Scenario{Stack: Stack{&ReadNoise{Sigma: 0.1}}, Seed: 9, Time: 50}
+	sb, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc2 Scenario
+	if err := json.Unmarshal(sb, &sc2); err != nil {
+		t.Fatal(err)
+	}
+	if sc2.Seed != 9 || sc2.Time != 50 || len(sc2.Stack) != 1 {
+		t.Fatalf("scenario round trip lost fields: %+v", sc2)
+	}
+}
+
+func TestJSONUnknownKindRejected(t *testing.T) {
+	var s Stack
+	err := json.Unmarshal([]byte(`[{"kind":"alien_rays"}]`), &s)
+	if err == nil || !strings.Contains(err.Error(), "alien_rays") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+}
+
+func TestRegisterCustomKind(t *testing.T) {
+	Register("test_zeroizer", func() Component { return &zeroizer{} })
+	var s Stack
+	if err := json.Unmarshal([]byte(`[{"kind":"test_zeroizer"}]`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0].Kind() != "test_zeroizer" {
+		t.Fatalf("custom kind not decoded: %#v", s)
+	}
+}
+
+type zeroizer struct{}
+
+func (*zeroizer) Kind() string    { return "test_zeroizer" }
+func (*zeroizer) Validate() error { return nil }
+func (*zeroizer) Apply(g *linalg.Dense, env Env, rng *linalg.RNG, t float64) (int, error) {
+	for i := range g.Data {
+		g.Data[i] = env.Goff
+	}
+	return len(g.Data), nil
+}

@@ -1,0 +1,361 @@
+package nonideal
+
+import (
+	"math"
+	"testing"
+
+	"geniex/internal/device"
+	"geniex/internal/linalg"
+)
+
+func testEnv() Env {
+	return Env{
+		Rows: 8, Cols: 8,
+		Goff: 1.0 / 600e3, Gon: 1.0 / 100e3,
+		Rsource: 500, Rsink: 100, Rwire: 2.5,
+		Vsupply: 0.25,
+		RRAM:    device.DefaultRRAMParams(),
+	}
+}
+
+// midMatrix fills an Env-sized matrix with mid-window conductances.
+func midMatrix(env Env) *linalg.Dense {
+	g := linalg.NewDense(env.Rows, env.Cols)
+	linalg.Fill(g.Data, 0.5*(env.Goff+env.Gon))
+	return g
+}
+
+func fullStack() Stack {
+	return Stack{
+		&StuckAt{POn: 0.05, POff: 0.05},
+		&D2DVariation{Sigma: 0.2},
+		&C2CVariation{Sigma: 0.05},
+		&Drift{Nu: 0.05, Tau0: 1},
+		&LineResistance{Scale: 1},
+		&ReadNoise{Sigma: 0.01},
+	}
+}
+
+func TestComponentValidation(t *testing.T) {
+	bad := []Component{
+		&StuckAt{POn: -0.1},
+		&StuckAt{POn: 0.7, POff: 0.7},
+		&StuckAt{POn: 0.1, Cluster: -1},
+		&D2DVariation{Sigma: -1},
+		&C2CVariation{Sigma: -1},
+		&Drift{Nu: -0.1},
+		&Drift{Nu: 0.1, Tau0: -1},
+		&LineResistance{},
+		&LineResistance{Scale: -2},
+		&ReadNoise{Sigma: -0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad component %d (%s) validated", i, c.Kind())
+		}
+	}
+	if err := fullStack().Validate(); err != nil {
+		t.Fatalf("good stack rejected: %v", err)
+	}
+}
+
+// Same seed → bit-identical perturbed conductances, run after run.
+func TestSeedReproducibility(t *testing.T) {
+	env := testEnv()
+	s := fullStack()
+	a, b := midMatrix(env), midMatrix(env)
+	repA, err := s.Apply(a, env, 42, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := s.Apply(b, env, 42, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("cell %d differs across replays: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+	if repA.Touched != repB.Touched || repA.Stuck != repB.Stuck {
+		t.Fatalf("reports differ: %+v vs %+v", repA, repB)
+	}
+	c := midMatrix(env)
+	if _, err := s.Apply(c, env, 43, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical perturbations")
+	}
+}
+
+// Component streams are private: how many draws an earlier component
+// consumes cannot shift a later component's stream (unlike a single
+// shared RNG). StuckAt at p=0.3 burns far more draws than at p=0, yet
+// the D2D factors behind it must be identical.
+func TestStreamsArePrivate(t *testing.T) {
+	env := testEnv()
+	a, b := midMatrix(env), midMatrix(env)
+	heavy := Stack{&StuckAt{POn: 0.15, POff: 0.15}, &D2DVariation{Sigma: 0.2}}
+	light := Stack{&StuckAt{}, &D2DVariation{Sigma: 0.2}}
+	if _, err := heavy.Apply(a, env, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := light.Apply(b, env, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Recover the heavy run's stuck mask by replaying its StuckAt
+	// alone (same seed, index and kind → same stream). Cells it left
+	// alone saw the same mid-window input in both runs, so identical
+	// D2D factors mean identical outputs there.
+	mid := 0.5 * (env.Goff + env.Gon)
+	mask := midMatrix(env)
+	if _, err := (Stack{&StuckAt{POn: 0.15, POff: 0.15}}).Apply(mask, env, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := range a.Data {
+		if mask.Data[i] != mid {
+			continue // stuck in the heavy run
+		}
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("cell %d: d2d stream shifted by stuck-at draw count: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("every cell stuck; test degenerate")
+	}
+}
+
+// Cycle-varying components re-draw when the clock moves; fingerprint
+// components do not.
+func TestCycleVsFingerprintTimeDependence(t *testing.T) {
+	env := testEnv()
+	t0, t1 := midMatrix(env), midMatrix(env)
+	fp := Stack{&StuckAt{POn: 0.1, POff: 0.1}, &D2DVariation{Sigma: 0.3}}
+	if _, err := fp.Apply(t0, env, 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Apply(t1, env, 9, 3600); err != nil {
+		t.Fatal(err)
+	}
+	for i := range t0.Data {
+		if t0.Data[i] != t1.Data[i] {
+			t.Fatal("fingerprint components moved with the clock")
+		}
+	}
+	c0, c1 := midMatrix(env), midMatrix(env)
+	cyc := Stack{&C2CVariation{Sigma: 0.3}}
+	if _, err := cyc.Apply(c0, env, 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cyc.Apply(c1, env, 9, 3600); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range c0.Data {
+		if c0.Data[i] != c1.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("cycle-varying component ignored the clock")
+	}
+}
+
+// Every component's output stays inside the programming window.
+func TestOutputsStayInWindow(t *testing.T) {
+	env := testEnv()
+	for _, c := range fullStack() {
+		g := midMatrix(env)
+		// Extremes at the rails probe the clamps.
+		g.Data[0], g.Data[1] = env.Goff, env.Gon
+		if _, err := (Stack{c}).Apply(g, env, 3, 1e7); err != nil {
+			t.Fatalf("%s: %v", c.Kind(), err)
+		}
+		for i, v := range g.Data {
+			if v < env.Goff || v > env.Gon {
+				t.Fatalf("%s: cell %d escaped window: %v", c.Kind(), i, v)
+			}
+		}
+	}
+}
+
+func TestStuckAtClustered(t *testing.T) {
+	env := Env{Rows: 32, Cols: 32, Goff: 1, Gon: 2, RRAM: device.DefaultRRAMParams()}
+	g := linalg.NewDense(32, 32)
+	linalg.Fill(g.Data, 1.5)
+	c := &StuckAt{POff: 0.1, Cluster: 4}
+	rng := linalg.NewRNG(5)
+	touched, err := c.Apply(g, env, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched == 0 {
+		t.Fatal("clustered stuck-at touched nothing")
+	}
+	// Every faulted cell must have a faulted 4-neighbour (clusters are
+	// contiguous patches), except single clipped corners — demand it
+	// for the overwhelming majority.
+	lonely, faulted := 0, 0
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			if g.At(i, j) != 1 {
+				continue
+			}
+			faulted++
+			adjacent := false
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				ni, nj := i+d[0], j+d[1]
+				if ni >= 0 && ni < 32 && nj >= 0 && nj < 32 && g.At(ni, nj) == 1 {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				lonely++
+			}
+		}
+	}
+	if faulted == 0 || lonely > faulted/10 {
+		t.Fatalf("faults not clustered: %d faulted, %d lonely", faulted, lonely)
+	}
+}
+
+func TestDriftAgesDownward(t *testing.T) {
+	env := testEnv()
+	g := midMatrix(env)
+	before := g.Clone()
+	d := &Drift{Nu: 0.05, Tau0: 1}
+	if _, err := (Stack{d}).Apply(g, env, 1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if g.Data[i] > before.Data[i] {
+			t.Fatalf("drift raised conductance at %d: %v -> %v", i, before.Data[i], g.Data[i])
+		}
+		if g.Data[i] == before.Data[i] {
+			t.Fatalf("drift left cell %d untouched at t=1e6", i)
+		}
+	}
+	// Longer aging → lower conductance (monotone in t).
+	g2 := midMatrix(env)
+	if _, err := (Stack{d}).Apply(g2, env, 1, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Data[0] >= g.Data[0] {
+		t.Fatalf("aging not monotone: g(1e6)=%v g(1e9)=%v", g.Data[0], g2.Data[0])
+	}
+	// The device-model route must agree with the closed-form power
+	// law g·(1+t/τ0)^(−ν) where the clamp is inactive.
+	mid := 0.5 * (env.Goff + env.Gon)
+	want := mid * math.Pow(1+1e6, -0.05)
+	if math.Abs(g.Data[0]-want) > 1e-12*mid {
+		t.Fatalf("drift disagrees with power law: got %v want %v", g.Data[0], want)
+	}
+}
+
+func TestLineResistanceGradient(t *testing.T) {
+	env := testEnv()
+	g := midMatrix(env)
+	if _, err := (Stack{&LineResistance{Scale: 1}}).Apply(g, env, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	mid := 0.5 * (env.Goff + env.Gon)
+	// Every cell attenuates, and the far column sees more wire than
+	// the near column on the same row.
+	for i := range g.Data {
+		if g.Data[i] >= mid {
+			t.Fatalf("cell %d not attenuated: %v", i, g.Data[i])
+		}
+	}
+	if !(g.At(0, env.Cols-1) < g.At(0, 0)) {
+		t.Fatalf("far column %v not weaker than near column %v", g.At(0, env.Cols-1), g.At(0, 0))
+	}
+}
+
+func TestScenarioApplyTilePositionKeyed(t *testing.T) {
+	env := testEnv()
+	sc := &Scenario{Stack: Stack{&D2DVariation{Sigma: 0.3}}, Seed: 77}
+	a, b, c := midMatrix(env), midMatrix(env), midMatrix(env)
+	if _, err := sc.ApplyTile(a, env, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.ApplyTile(b, env, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.ApplyTile(c, env, 1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same tile coordinates diverged")
+		}
+	}
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct tiles share one fault stream")
+	}
+}
+
+func TestScenarioClockInjectable(t *testing.T) {
+	env := testEnv()
+	reading := 100.0
+	sc := &Scenario{
+		Stack: Stack{&Drift{Nu: 0.1}},
+		Clock: func() float64 { return reading },
+	}
+	a := midMatrix(env)
+	if _, err := sc.ApplyTile(a, env, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	reading = 1e8
+	b := midMatrix(env)
+	if _, err := sc.ApplyTile(b, env, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] <= b.Data[0] {
+		t.Fatalf("injected clock ignored: g(100)=%v g(1e8)=%v", a.Data[0], b.Data[0])
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	env := testEnv()
+	sc := &Scenario{Stack: Stack{&StuckAt{POff: 0.5}}, Seed: 1}
+	var total Report
+	for tr := 0; tr < 3; tr++ {
+		g := midMatrix(env)
+		rep, err := sc.ApplyTile(g, env, tr, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Merge(rep)
+	}
+	if total.Tiles != 3 || total.Cells != 3*env.Rows*env.Cols {
+		t.Fatalf("bad totals: %+v", total)
+	}
+	if total.Stuck == 0 || total.DegradedTiles != 3 {
+		t.Fatalf("stuck-at at p=0.5 left tiles clean: %+v", total)
+	}
+	if f := total.DegradedFraction(); f != 1 {
+		t.Fatalf("degraded fraction %v, want 1", f)
+	}
+	if total.PerKind[KindStuckAt] != total.Stuck {
+		t.Fatalf("per-kind mismatch: %+v", total)
+	}
+}

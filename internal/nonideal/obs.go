@@ -1,0 +1,34 @@
+package nonideal
+
+import (
+	"sync"
+
+	"geniex/internal/obs"
+)
+
+// Per-kind applied-cell counters, created lazily because the kind set
+// is open (Register accepts custom kinds). Builtin kinds therefore
+// appear in snapshots only once a scenario actually touches cells —
+// sweeps and the serving ladder read injected-fault pressure from
+// nonideal.applied.<kind> plus nonideal.apply.{calls,errors}.
+var (
+	mApplyCalls = obs.NewCounter("nonideal.apply.calls")
+
+	appliedMu sync.Mutex
+	applied   = map[string]*obs.Counter{}
+)
+
+func observeApplied(kind string, touched int) {
+	if !obs.Enabled() {
+		return
+	}
+	mApplyCalls.Inc()
+	appliedMu.Lock()
+	c, ok := applied[kind]
+	if !ok {
+		c = obs.NewCounter("nonideal.applied." + kind)
+		applied[kind] = c
+	}
+	appliedMu.Unlock()
+	c.Add(int64(touched))
+}

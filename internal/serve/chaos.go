@@ -42,8 +42,11 @@ type ChaosPolicy struct {
 	Stall      time.Duration
 	// Faults, when non-nil, is the fault plan the server's owner
 	// should program into the circuit tier's solver (see
-	// xbar.Config.WithFaults). The serve package only carries it;
-	// cmd/geniex-serve wires it when building the circuit tier.
+	// xbar.Config.WithFaults): forced solver failures and, via its
+	// StuckAt field, real conductance faults from the shared
+	// internal/nonideal stuck-at component. The serve package only
+	// carries it; cmd/geniex-serve wires it when building the circuit
+	// tier.
 	Faults *xbar.FaultPlan
 	// Seed makes the injection schedule reproducible; 0 seeds from 1.
 	Seed uint64

@@ -236,6 +236,13 @@ func NewBatchSolver(cfg Config, g *linalg.Dense) (*BatchSolver, error) {
 		g:       g.Clone(),
 		workers: cfg.BatchWorkers,
 	}
+	// Stuck cells are a property of the one shared array, not of a batch
+	// item, so they perturb the pooled conductances here — every pooled
+	// instance (and every item, regardless of Items) sees the same
+	// faulted matrix, exactly as a single physical crossbar would.
+	if _, err := cfg.faults.applyStuck(s.g, cfg); err != nil {
+		return nil, err
+	}
 	xb, err := s.newInstance()
 	if err != nil {
 		return nil, err

@@ -115,11 +115,18 @@ func (x *Crossbar) Program(g *linalg.Dense) error {
 		return fmt.Errorf("xbar: Program with %dx%d matrix on %dx%d crossbar",
 			g.Rows, g.Cols, x.cfg.Rows, x.cfg.Cols)
 	}
+	prog := g.Clone()
+	// Conductance-level faults (stuck cells) apply to the programmed
+	// copy: the caller's intended matrix is untouched, but the array —
+	// and everything solved on it — sees the faulted values.
+	if _, err := x.faults.applyStuck(prog, x.cfg); err != nil {
+		return err
+	}
 	lo, hi := x.cfg.Goff(), x.cfg.Gon()
 	slack := 1e-9 * hi
 	gsel := x.cfg.SelectorGonFactor / x.cfg.Ron
-	cells := make([]device.Element, len(g.Data))
-	for idx, gv := range g.Data {
+	cells := make([]device.Element, len(prog.Data))
+	for idx, gv := range prog.Data {
 		if gv < lo-slack || gv > hi+slack {
 			return fmt.Errorf("xbar: conductance %g outside window [%g, %g] at cell %d", gv, lo, hi, idx)
 		}
@@ -133,7 +140,7 @@ func (x *Crossbar) Program(g *linalg.Dense) error {
 			cells[idx] = device.NewLinear(gCell)
 		}
 	}
-	x.g = g.Clone()
+	x.g = prog
 	x.cell = cells
 	return nil
 }

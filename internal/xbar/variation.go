@@ -2,28 +2,59 @@ package xbar
 
 import (
 	"fmt"
-	"math"
 
 	"geniex/internal/linalg"
+	"geniex/internal/nonideal"
 )
 
+// EnvFromConfig projects a crossbar design point onto the environment
+// the non-ideality component library perturbs within. Every layer that
+// applies nonideal stacks to conductances programmed for this design
+// point (funcsim lowering, the fault plan, Variation) builds its Env
+// here so the window and parasitics stay consistent.
+func EnvFromConfig(c Config) nonideal.Env {
+	return nonideal.Env{
+		Rows: c.Rows, Cols: c.Cols,
+		Goff: c.Goff(), Gon: c.Gon(),
+		Rsource: c.Rsource, Rsink: c.Rsink, Rwire: c.Rwire,
+		Vsupply: c.Vsupply,
+		RRAM:    c.RRAM,
+	}
+}
+
 // Variation describes programming-time conductance disturbances:
-// log-normal device-to-device variation plus stuck-at faults. These
-// are the non-idealities the paper's related work (Vortex, defect
-// mapping) models by distribution; here they perturb the programmed
-// conductance matrix so both the circuit solver and GENIEx (which is
-// data-based and can therefore be trained on measured, noisy arrays)
-// see them.
+// log-normal device-to-device variation plus stuck-at faults. It
+// predates the internal/nonideal scenario library and is kept as a
+// thin adapter over it: Apply composes the shared StuckAt and
+// D2DVariation components, so the legacy call sites (ablations, the
+// measured-array GENIEx training path) and new scenario-driven code
+// exercise one implementation. New code should build nonideal.Stack
+// values directly.
 type Variation struct {
 	// Sigma is the standard deviation of the log-normal conductance
 	// perturbation: g ← g·exp(σ·N(0,1)), clamped to the programming
 	// window. Zero disables variation.
-	Sigma float64
+	Sigma float64 `json:"sigma,omitempty"`
 	// StuckOn and StuckOff are the probabilities that a cell is stuck
 	// at Gon and Goff respectively (stuck-at faults [14]).
-	StuckOn, StuckOff float64
+	StuckOn  float64 `json:"stuck_on,omitempty"`
+	StuckOff float64 `json:"stuck_off,omitempty"`
 	// Seed drives the perturbation deterministically.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Stack is the nonideal composition Variation adapts over: stuck-at
+// faults first (a stuck cell is stuck regardless of programming
+// noise), then device-to-device variation.
+func (v Variation) Stack() nonideal.Stack {
+	var s nonideal.Stack
+	if v.StuckOn > 0 || v.StuckOff > 0 {
+		s = append(s, &nonideal.StuckAt{POn: v.StuckOn, POff: v.StuckOff})
+	}
+	if v.Sigma > 0 {
+		s = append(s, &nonideal.D2DVariation{Sigma: v.Sigma})
+	}
+	return s
 }
 
 // Validate reports whether the variation parameters are meaningful.
@@ -45,30 +76,9 @@ func (v Variation) Apply(g *linalg.Dense, cfg Config) (*linalg.Dense, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
-	rng := linalg.NewRNG(v.Seed)
 	out := g.Clone()
-	lo, hi := cfg.Goff(), cfg.Gon()
-	for i := range out.Data {
-		switch {
-		case rng.Float64() < v.StuckOn:
-			out.Data[i] = hi
-		case rng.Float64() < v.StuckOff:
-			out.Data[i] = lo
-		default:
-			if v.Sigma > 0 {
-				out.Data[i] *= lognormal(rng, v.Sigma)
-			}
-		}
-		if out.Data[i] < lo {
-			out.Data[i] = lo
-		}
-		if out.Data[i] > hi {
-			out.Data[i] = hi
-		}
+	if _, err := v.Stack().Apply(out, EnvFromConfig(cfg), v.Seed, 0); err != nil {
+		return nil, err
 	}
 	return out, nil
-}
-
-func lognormal(rng *linalg.RNG, sigma float64) float64 {
-	return math.Exp(sigma * rng.Norm())
 }

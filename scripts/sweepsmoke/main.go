@@ -1,0 +1,194 @@
+// Command sweepsmoke is the end-to-end crash-resume gate for the
+// sweep engine: it runs a small scenario grid to completion as the
+// reference, starts the same grid again with a per-cell delay, SIGKILLs
+// the process mid-grid (a real kill -9, not a polite shutdown), and
+// resumes with -resume. It then asserts the crash-resume contract:
+//
+//   - the killed run checkpointed some but not all cells;
+//   - the resumed run skipped exactly the checkpointed cells and
+//     executed exactly the remainder — no cell ran twice;
+//   - every cell result file (and the summary) is byte-identical to
+//     the uninterrupted reference run's.
+//
+// Run it via `make sweep-smoke` (check.sh includes it).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// spec is the smoke grid: 2 stacks × 2 models × 2 seeds on one array
+// size — 8 cells, all on the cheap tiers so the smoke stays fast.
+const spec = `{
+  "name": "smoke",
+  "sizes": [8],
+  "stacks": [
+    {"name": "clean", "stack": []},
+    {"name": "faults", "stack": [
+      {"kind": "stuck_at", "params": {"p_on": 0.05, "p_off": 0.05}},
+      {"kind": "d2d_variation", "params": {"sigma": 0.2}}
+    ]}
+  ],
+  "models": ["ideal", "analytical"],
+  "seeds": [1, 2],
+  "jobs": 1
+}`
+
+const totalCells = 8
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+	if err := run(*timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sweepsmoke: PASS")
+}
+
+func run(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	work, err := os.MkdirTemp("", "sweepsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	specPath := filepath.Join(work, "spec.json")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		return err
+	}
+	// Build the real binary: the kill must hit the sweep process
+	// itself, which `go run`'s wrapper would shield.
+	bin := filepath.Join(work, "geniex-sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/geniex-sweep").CombinedOutput(); err != nil {
+		return fmt.Errorf("building geniex-sweep: %v\n%s", err, out)
+	}
+
+	// Reference: the same grid, uninterrupted.
+	refDir := filepath.Join(work, "ref")
+	if out, err := exec.Command(bin, "-spec", specPath, "-out", refDir).CombinedOutput(); err != nil {
+		return fmt.Errorf("reference run: %v\n%s", err, out)
+	}
+	if n := countCells(refDir); n != totalCells {
+		return fmt.Errorf("reference run checkpointed %d/%d cells", n, totalCells)
+	}
+
+	// Victim: slowed cells, killed as soon as the grid is mid-flight.
+	vicDir := filepath.Join(work, "vic")
+	victim := exec.Command(bin, "-spec", specPath, "-out", vicDir, "-cell-delay", "250ms")
+	var vicOut bytes.Buffer
+	victim.Stdout, victim.Stderr = &vicOut, &vicOut
+	if err := victim.Start(); err != nil {
+		return err
+	}
+	for countCells(vicDir) < 2 {
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			return fmt.Errorf("timed out waiting for the victim to checkpoint cells\n%s", vicOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil { // SIGKILL
+		return err
+	}
+	victim.Wait() // reaps; the kill error state is expected
+	done := countCells(vicDir)
+	if done == 0 || done >= totalCells {
+		return fmt.Errorf("victim checkpointed %d/%d cells — kill landed outside the grid", done, totalCells)
+	}
+	fmt.Printf("sweepsmoke: killed victim with %d/%d cells checkpointed\n", done, totalCells)
+
+	// Resume and parse its accounting.
+	resume := exec.Command(bin, "-spec", specPath, "-out", vicDir, "-resume")
+	resOut, err := resume.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("resume run: %v\n%s", err, resOut)
+	}
+	executed, skipped, err := parseCounts(string(resOut))
+	if err != nil {
+		return fmt.Errorf("%w\n%s", err, resOut)
+	}
+	// No cell runs twice: the resume executed exactly the cells the
+	// victim had not checkpointed. (The victim was SIGKILLed, so
+	// nothing could have been checkpointed after our count.)
+	if skipped != done || executed != totalCells-done {
+		return fmt.Errorf("resume accounting: executed=%d skipped=%d, want %d/%d\n%s",
+			executed, skipped, totalCells-done, done, resOut)
+	}
+	if n := countCells(vicDir); n != totalCells {
+		return fmt.Errorf("resumed run left %d/%d cells", n, totalCells)
+	}
+
+	// The resumed sweep is indistinguishable from the uninterrupted
+	// one: every artifact byte-compares equal.
+	names, err := filepath.Glob(filepath.Join(refDir, "cells", "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, ref := range names {
+		base := filepath.Base(ref)
+		a, err := os.ReadFile(ref)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(filepath.Join(vicDir, "cells", base))
+		if err != nil {
+			return fmt.Errorf("resumed run missing cell %s: %w", base, err)
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("cell %s differs between resumed and reference runs:\n%s\nvs\n%s", base, a, b)
+		}
+	}
+	a, err := os.ReadFile(filepath.Join(refDir, "summary.json"))
+	if err != nil {
+		return err
+	}
+	b, err := os.ReadFile(filepath.Join(vicDir, "summary.json"))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("summary.json differs between resumed and reference runs")
+	}
+	fmt.Printf("sweepsmoke: resume executed %d, skipped %d; all %d cell files byte-identical\n",
+		executed, skipped, totalCells)
+	return nil
+}
+
+// countCells counts completed checkpoint files (atomic renames only —
+// in-flight .tmp-* files don't match).
+func countCells(dir string) int {
+	names, _ := filepath.Glob(filepath.Join(dir, "cells", "*.json"))
+	n := 0
+	for _, f := range names {
+		if !strings.HasPrefix(filepath.Base(f), ".") {
+			n++
+		}
+	}
+	return n
+}
+
+var countsRe = regexp.MustCompile(`sweep: executed=(\d+) skipped=(\d+) failed=(\d+)`)
+
+// parseCounts extracts the runner's accounting line.
+func parseCounts(out string) (executed, skipped int, err error) {
+	m := countsRe.FindStringSubmatch(out)
+	if m == nil {
+		return 0, 0, fmt.Errorf("no accounting line in sweep output")
+	}
+	fmt.Sscanf(m[1], "%d", &executed)
+	fmt.Sscanf(m[2], "%d", &skipped)
+	if m[3] != "0" {
+		return executed, skipped, fmt.Errorf("resume reported failed cells")
+	}
+	return executed, skipped, nil
+}
