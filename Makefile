@@ -31,12 +31,16 @@ test:
 race:
 	$(GO) test -race -short $(RACE_PKGS)
 
-# MVM pipeline benchmarks: serial vs parallel wall-clock and the
-# allocs/op contract (ideal steady state must report 0 allocs/op).
-# benchjson tees the table to stdout and writes BENCH_PR7.json.
+# MVM pipeline benchmarks: serial vs parallel wall-clock, the
+# allocs/op contract (ideal steady state must report 0 allocs/op), and
+# the circuit cold/seeded/warm start comparison. benchjson tees the
+# table to stdout and writes $(BENCH_OUT); override BENCH_OUT to keep
+# older trajectory files.
+BENCH_OUT ?= BENCH_PR8.json
+
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem . \
-		| $(GO) run ./scripts/benchjson -out BENCH_PR7.json
+		| $(GO) run ./scripts/benchjson -out $(BENCH_OUT)
 
 # End-to-end metrics gate: run a tiny funcsim-run with -metrics-addr,
 # the fidelity probe, and trace export, scrape the endpoint, and assert

@@ -6,6 +6,7 @@
 package geniex_bench
 
 import (
+	"math"
 	"testing"
 
 	"geniex/internal/core"
@@ -279,6 +280,22 @@ func BenchmarkMVMGENIEx(b *testing.B) {
 	}
 }
 
+// rrmse is the relative root-mean-square divergence between an output
+// batch and its reference — the same statistic the online fidelity
+// probe reports.
+func rrmse(got, ref *linalg.Dense) float64 {
+	var num, den float64
+	for i := range ref.Data {
+		d := got.Data[i] - ref.Data[i]
+		num += d * d
+		den += ref.Data[i] * ref.Data[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
 // BenchmarkMVMCircuit measures the circuit-model pipeline. The serial
 // baseline pins both the tile tasks (Workers=1) and the batch solver
 // (BatchWorkers=1) to one goroutine; the parallel case fans tile tasks
@@ -286,18 +303,65 @@ func BenchmarkMVMGENIEx(b *testing.B) {
 // carrying the programmed instances. On a multi-core host the parallel
 // case is expected to be ≥2× faster wall-clock; outputs are
 // bit-identical in both.
+//
+// The cold/seeded/warm sub-benchmarks compare Newton start strategies
+// at fixed serial execution: cold rebuilds every solve from a zero
+// state (the pre-cache behaviour), seeded starts from the cached MNA
+// factorization's direct solve (the default), and warm is the
+// fastcircuit tier reusing each pooled instance's previous converged
+// state. Each is gated on probe-statistic rRMSE against a cold
+// reference before timing, so the latency numbers compare matched
+// outputs; seeded is expected ≥5× faster than cold in steady state.
 func BenchmarkMVMCircuit(b *testing.B) {
 	const in, out, batch = 16, 16, 4 // 2×2 tile grid at 8×8
+	serialCfg := func() funcsim.Config {
+		cfg := funcsim.DefaultConfig()
+		cfg.Xbar.Rows, cfg.Xbar.Cols = 8, 8
+		cfg.Workers = 1
+		cfg.Xbar.BatchWorkers = 1 // parallelism lives in the tile tasks
+		return cfg
+	}
 	for _, bc := range []struct {
 		name    string
 		workers int
 	}{{"serial", 1}, {"parallel", 0}} {
 		b.Run(bc.name, func(b *testing.B) {
-			cfg := funcsim.DefaultConfig()
-			cfg.Xbar.Rows, cfg.Xbar.Cols = 8, 8
+			cfg := serialCfg()
 			cfg.Workers = bc.workers
-			cfg.Xbar.BatchWorkers = 1 // parallelism lives in the tile tasks
 			mat, x, dst := mvmBench(b, cfg, funcsim.Circuit{Cfg: cfg.Xbar}, in, out, batch)
+			runMVM(b, mat, dst, x)
+		})
+	}
+
+	coldRef := func(b *testing.B) (*linalg.Dense, *linalg.Dense) {
+		cfg := serialCfg()
+		cfg.Xbar.Start = xbar.StartCold
+		mat, x, ref := mvmBench(b, cfg, funcsim.Circuit{Cfg: cfg.Xbar}, in, out, batch)
+		if err := mat.MVMInto(ref, x); err != nil {
+			b.Fatal(err)
+		}
+		return ref, x
+	}
+	for _, sc := range []struct {
+		name  string
+		start xbar.SolverStart
+		model func(cfg xbar.Config) funcsim.Model
+	}{
+		{"cold", xbar.StartCold, func(cfg xbar.Config) funcsim.Model { return funcsim.Circuit{Cfg: cfg} }},
+		{"seeded", xbar.StartSeeded, func(cfg xbar.Config) funcsim.Model { return funcsim.Circuit{Cfg: cfg} }},
+		{"warm", xbar.StartWarm, func(cfg xbar.Config) funcsim.Model { return funcsim.FastCircuit{Cfg: cfg} }},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			ref, _ := coldRef(b)
+			cfg := serialCfg()
+			cfg.Xbar.Start = sc.start
+			mat, x, dst := mvmBench(b, cfg, sc.model(cfg.Xbar), in, out, batch)
+			if err := mat.MVMInto(dst, x); err != nil {
+				b.Fatal(err)
+			}
+			if r := rrmse(dst, ref); r > 1e-6 {
+				b.Fatalf("%s output diverges from cold reference: rRMSE %g", sc.name, r)
+			}
 			runMVM(b, mat, dst, x)
 		})
 	}

@@ -5,6 +5,10 @@
 # make.
 set -eux
 
+# The trace smoke leaves trace_smoke.json behind when a later step (or
+# the smoke itself) fails; clean it up on every exit path.
+trap 'rm -f trace_smoke.json' EXIT
+
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
@@ -14,6 +18,5 @@ go run ./scripts/obssmoke
 go run ./cmd/funcsim-run -mode ideal -size 8 -train 24 -test 6 \
 	-epochs 1 -channels 4 -probe-rate 8 -trace-out trace_smoke.json
 go run ./scripts/tracecheck trace_smoke.json
-rm -f trace_smoke.json
 go run ./scripts/servesmoke
 go run ./scripts/sweepsmoke

@@ -33,7 +33,7 @@ func main() {
 func run() error {
 	var (
 		dsName    = flag.String("dataset", "cifar", "dataset: cifar or imagenet")
-		mode      = flag.String("mode", "geniex", "analog model: ideal, analytical, geniex or circuit")
+		mode      = flag.String("mode", "geniex", "analog model: ideal, analytical, geniex, circuit or fastcircuit")
 		size      = flag.Int("size", 16, "crossbar (tile) size")
 		vdd       = flag.Float64("vdd", 0.25, "supply voltage (volts)")
 		ron       = flag.Float64("ron", 100e3, "ON resistance (ohms)")
@@ -94,7 +94,7 @@ func run() error {
 		return err
 	}
 	batchWorkers := 0
-	if *mode == "circuit" && *workers != 1 {
+	if (*mode == "circuit" || *mode == "fastcircuit") && *workers != 1 {
 		// Tile tasks already saturate the cores; keep each circuit batch
 		// solve on its worker instead of fanning out a second time.
 		batchWorkers = 1
@@ -135,6 +135,9 @@ func run() error {
 	case "circuit":
 		health = &funcsim.SolverHealth{}
 		model = funcsim.Circuit{Cfg: simCfg.Xbar, Degraded: *degraded, Health: health}
+	case "fastcircuit":
+		health = &funcsim.SolverHealth{}
+		model = funcsim.FastCircuit{Cfg: simCfg.Xbar, Degraded: *degraded, Health: health}
 	case "geniex":
 		var gx *core.Model
 		if *geniexM != "" {

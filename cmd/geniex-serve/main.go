@@ -45,7 +45,7 @@ func main() {
 func run() error {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		tiers = flag.String("tiers", "analytical,ideal", "fidelity ladder, most faithful first: comma-separated subset of circuit,geniex,analytical,ideal; the last is the floor")
+		tiers = flag.String("tiers", "analytical,ideal", "fidelity ladder, most faithful first: comma-separated subset of circuit,fastcircuit,geniex,analytical,ideal; the last is the floor")
 
 		// Model and design point. The defaults keep startup fast; the
 		// server's point is resilience machinery, not accuracy.
@@ -147,14 +147,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if name == "circuit" && chaos.Faults != nil {
+		isCircuitTier := name == "circuit" || name == "fastcircuit"
+		if isCircuitTier && chaos.Faults != nil {
 			xcfg = xcfg.WithFaults(chaos.Faults)
 		}
 		// The fidelity probe rides on the first tier only: it
 		// shadow-solves that tier's MVMs through the circuit solver,
-		// which is the divergence that matters for distrust.
+		// which is the divergence that matters for distrust. Both
+		// circuit tiers already run that solver, so neither needs it.
 		probe := 0
-		if i == 0 && name != "circuit" {
+		if i == 0 && !isCircuitTier {
 			probe = *probeRate
 		}
 		simCfg, err := newSimCfg(xcfg, probe)
@@ -170,6 +172,8 @@ func run() error {
 			model = funcsim.Analytical{Cfg: simCfg.Xbar}
 		case "circuit":
 			model = funcsim.Circuit{Cfg: simCfg.Xbar, Degraded: false, Health: &funcsim.SolverHealth{}}
+		case "fastcircuit":
+			model = funcsim.FastCircuit{Cfg: simCfg.Xbar, Degraded: false, Health: &funcsim.SolverHealth{}}
 		case "geniex":
 			fmt.Println("serve: training GENIEx surrogate...")
 			gx, err := trainSurrogate(simCfg.Xbar, *streams, *slices, *gxSamples, *gxEpochs, *seed)
@@ -178,7 +182,7 @@ func run() error {
 			}
 			model = funcsim.GENIEx{Model: gx}
 		default:
-			return fmt.Errorf("unknown tier %q (want circuit, geniex, analytical or ideal)", name)
+			return fmt.Errorf("unknown tier %q (want circuit, fastcircuit, geniex, analytical or ideal)", name)
 		}
 
 		eng, err := funcsim.NewEngine(simCfg, model)

@@ -1,0 +1,240 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// randSPDTridiag builds a diagonally dominant (hence SPD) symmetric
+// tridiagonal system.
+func randSPDTridiag(r *RNG, n int) (diag, off []float64) {
+	diag = make([]float64, n)
+	off = make([]float64, n-1)
+	for i := range off {
+		off[i] = -r.Float64()
+	}
+	for i := range diag {
+		diag[i] = 2.5 + r.Float64()
+	}
+	return diag, off
+}
+
+// tridiagDense expands a symmetric tridiagonal matrix to dense form.
+func tridiagDense(diag, off []float64) *Dense {
+	n := len(diag)
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, diag[i])
+		if i+1 < n {
+			a.Set(i, i+1, off[i])
+			a.Set(i+1, i, off[i])
+		}
+	}
+	return a
+}
+
+func TestTridiagSolveMatchesDense(t *testing.T) {
+	r := NewRNG(41)
+	for _, n := range []int{1, 2, 5, 33} {
+		diag, off := randSPDTridiag(r, n)
+		f, err := FactorTridiag(diag, off)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*r.Float64() - 1
+		}
+		want, err := SolveDense(tridiagDense(diag, off), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		f.SolveInto(got, b)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d x[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+		// In-place solve (x aliasing b) must give the same answer.
+		f.SolveInto(b, b)
+		for i := range b {
+			if b[i] != got[i] {
+				t.Fatalf("n=%d aliased solve differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestTridiagRejectsIndefinite(t *testing.T) {
+	if _, err := FactorTridiag([]float64{1, -2}, []float64{0}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+// randSPD builds a random SPD matrix A = MᵀM + n·I.
+func randSPD(r *RNG, n int) *Dense {
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = 2*r.Float64() - 1
+	}
+	a := MatMul(m.T(), m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskySolveMatchesDense(t *testing.T) {
+	r := NewRNG(42)
+	for _, n := range []int{1, 3, 8, 20} {
+		a := randSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*r.Float64() - 1
+		}
+		want, err := SolveDense(a.Clone(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := FactorCholesky(a.Clone())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := make([]float64, n)
+		c.SolveInto(got, b)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d x[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := FactorCholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+// blockTridiagSystem builds a random SPD block tridiagonal system with
+// dense diagonal blocks and diagonal off-blocks, returning both the
+// block form and the assembled dense matrix.
+func blockTridiagSystem(r *RNG, levels, bs int) (diag []*Dense, off [][]float64, a *Dense) {
+	n := levels * bs
+	a = NewDense(n, n)
+	diag = make([]*Dense, levels)
+	off = make([][]float64, levels-1)
+	for i := 0; i < levels; i++ {
+		diag[i] = randSPD(r, bs)
+		// Strengthen the diagonal so the whole assembled matrix stays
+		// SPD despite the off-blocks.
+		for j := 0; j < bs; j++ {
+			diag[i].Set(j, j, diag[i].At(j, j)+4)
+		}
+		for j := 0; j < bs; j++ {
+			for k := 0; k < bs; k++ {
+				a.Set(i*bs+j, i*bs+k, diag[i].At(j, k))
+			}
+		}
+	}
+	for i := 0; i < levels-1; i++ {
+		off[i] = make([]float64, bs)
+		for j := 0; j < bs; j++ {
+			off[i][j] = 2*r.Float64() - 1
+			a.Set(i*bs+j, (i+1)*bs+j, off[i][j])
+			a.Set((i+1)*bs+j, i*bs+j, off[i][j])
+		}
+	}
+	return diag, off, a
+}
+
+func TestBlockTridiagSolveMatchesDense(t *testing.T) {
+	r := NewRNG(43)
+	for _, dims := range [][2]int{{1, 4}, {3, 1}, {4, 5}, {6, 8}} {
+		levels, bs := dims[0], dims[1]
+		diag, off, a := blockTridiagSystem(r, levels, bs)
+		n := levels * bs
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*r.Float64() - 1
+		}
+		want, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := FactorBlockTridiag(diag, off)
+		if err != nil {
+			t.Fatalf("levels=%d bs=%d: %v", levels, bs, err)
+		}
+		if f.N() != n || f.BlockSize() != bs {
+			t.Fatalf("dims: N=%d BlockSize=%d", f.N(), f.BlockSize())
+		}
+		got := make([]float64, n)
+		tmp := make([]float64, bs)
+		f.SolveInto(got, b, tmp)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("levels=%d bs=%d x[%d] = %v, want %v", levels, bs, i, got[i], want[i])
+			}
+		}
+		// Aliased in-place solve.
+		f.SolveInto(b, b, tmp)
+		for i := range b {
+			if b[i] != got[i] {
+				t.Fatalf("levels=%d bs=%d aliased solve differs at %d", levels, bs, i)
+			}
+		}
+	}
+}
+
+// cholPrecond adapts a Cholesky factor to the CG Preconditioner
+// interface for the test below.
+type cholPrecond struct{ c *Cholesky }
+
+func (p cholPrecond) PrecondInto(z, r []float64) { p.c.SolveInto(z, r) }
+
+// An exact factorization used as the CG preconditioner must converge
+// in a couple of iterations and still satisfy the true-residual
+// tolerance contract.
+func TestSolveCGWithExactPreconditioner(t *testing.T) {
+	r := NewRNG(44)
+	const n = 24
+	a := randSPD(r, n)
+	var coords []Coord
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			coords = append(coords, Coord{Row: i, Col: j, Val: a.At(i, j)})
+		}
+	}
+	csr := NewCSR(n, coords)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 2*r.Float64() - 1
+	}
+	c, err := FactorCholesky(a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	stats, err := SolveCG(csr, b, x, nil, CGOptions{Tol: 1e-12, Precond: cholPrecond{c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged || stats.Iterations > 3 {
+		t.Fatalf("preconditioned CG: %+v, want convergence in <= 3 iterations", stats)
+	}
+	// The solution must actually solve the system.
+	res := make([]float64, n)
+	csr.MulVec(x, res)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	if rel := Norm2(res) / Norm2(b); rel > 1e-10 {
+		t.Fatalf("relative residual %v after preconditioned CG", rel)
+	}
+}

@@ -139,6 +139,28 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// When every observation landed in the overflow bucket the estimator
+// has no upper edge to interpolate toward: every quantile — including
+// clamped out-of-range q — must report the last bound, never a value
+// beyond it or a division artifact.
+func TestHistogramQuantileAllMassInOverflow(t *testing.T) {
+	h := HistogramSnapshot{
+		Bounds: []float64{0.5, 1, 2},
+		Counts: []int64{0, 0, 0, 7}, // all mass past Bounds[2]
+		Count:  7,
+	}
+	for _, q := range []float64{-1, 0, 1e-9, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%g) = %g, want clamp to last bound 2", q, got)
+		}
+	}
+	// Snapshot-time percentiles go through the same clamp.
+	h.P50, h.P95, h.P99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if h.P50 != 2 || h.P95 != 2 || h.P99 != 2 {
+		t.Errorf("precomputed quantiles not clamped: p50=%g p95=%g p99=%g", h.P50, h.P95, h.P99)
+	}
+}
+
 // Snapshots must carry precomputed p50/p95/p99, and WriteText must
 // include them.
 func TestSnapshotQuantilesPopulated(t *testing.T) {

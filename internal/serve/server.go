@@ -268,6 +268,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterHint is the wait advertised on 503/504 outcomes: the
+// retry schedule's cap, falling back to half the default deadline
+// (the 429 heuristic) when the schedule is uncapped, so the hint is
+// never zero.
+func (s *Server) retryAfterHint() time.Duration {
+	if s.cfg.Backoff.Cap > 0 {
+		return s.cfg.Backoff.Cap
+	}
+	return s.cfg.Deadline / 2
+}
+
+// writeRetryable writes a retryable typed outcome (429, 503, 504).
+// The Retry-After header and the JSON body's RetryAfterMS always
+// advertise the same hint: the header is the body value rounded up to
+// whole seconds, floored at 1 so clients honouring only the header
+// never spin on a zero wait.
+func writeRetryable(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	ms := retryAfter.Milliseconds()
+	secs := (ms + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, ErrorResponse{Error: msg, RetryAfterMS: ms})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	type tierHealth struct {
 		Name    string `json:"name"`
@@ -334,13 +360,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		})
 	case canceled(err):
 		mTimeout.Inc()
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded: " + err.Error()})
+		writeRetryable(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error(), s.retryAfterHint())
 	default:
 		mExhausted.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
-			Error:        err.Error(),
-			RetryAfterMS: s.cfg.Backoff.Cap.Milliseconds(),
-		})
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error(), s.retryAfterHint())
 	}
 }
 
@@ -353,12 +376,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string
 	if tq.queued.Add(1) > int64(s.cfg.TenantQueue) {
 		tq.queued.Add(-1)
 		mRejected.Inc()
-		retryAfter := s.cfg.Deadline / 2
-		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())+1))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
-			Error:        "tenant queue full",
-			RetryAfterMS: retryAfter.Milliseconds(),
-		})
+		writeRetryable(w, http.StatusTooManyRequests, "tenant queue full", s.cfg.Deadline/2)
 		return nil, false
 	}
 	s.queued.Add(1)
@@ -385,7 +403,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string
 	case <-ctx.Done():
 		dequeue()
 		mTimeout.Inc()
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded in admission queue"})
+		writeRetryable(w, http.StatusGatewayTimeout, "deadline exceeded in admission queue", s.retryAfterHint())
 		return nil, false
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -36,6 +37,24 @@ func blockUntil(gate <-chan struct{}) RunnerFunc {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+	}
+}
+
+// assertRetryAfter checks the contract every retryable typed outcome
+// (429, 503, 504) shares: a Retry-After header equal to the body's
+// retry_after_ms rounded up to whole seconds, at least 1.
+func assertRetryAfter(t *testing.T, w *httptest.ResponseRecorder, bad ErrorResponse) {
+	t.Helper()
+	if bad.RetryAfterMS <= 0 {
+		t.Errorf("body lacks retry_after_ms: %+v", bad)
+	}
+	secs := (bad.RetryAfterMS + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	h := w.Header().Get("Retry-After")
+	if want := strconv.FormatInt(secs, 10); h != want {
+		t.Errorf("Retry-After header %q inconsistent with retry_after_ms %d (want %q)", h, bad.RetryAfterMS, want)
 	}
 }
 
@@ -160,9 +179,7 @@ func TestBackpressure429(t *testing.T) {
 	if w3.Code != http.StatusTooManyRequests {
 		t.Fatalf("third request: status %d, want 429", w3.Code)
 	}
-	if w3.Header().Get("Retry-After") == "" || bad3.RetryAfterMS <= 0 {
-		t.Errorf("429 lacks retry-after guidance: header=%q body=%+v", w3.Header().Get("Retry-After"), bad3)
-	}
+	assertRetryAfter(t, w3, bad3)
 
 	close(gate)
 	for i := 0; i < 2; i++ {
@@ -193,6 +210,7 @@ func TestDeadline504AndNoGoroutineLeak(t *testing.T) {
 		if w.Code != http.StatusGatewayTimeout {
 			t.Fatalf("request %d: status %d body %+v, want 504", i, w.Code, bad)
 		}
+		assertRetryAfter(t, w, bad)
 	}
 	runtime.GC()
 	deadline := time.Now().Add(2 * time.Second)
@@ -397,6 +415,7 @@ func TestExhausted503(t *testing.T) {
 	if bad.Error == "" {
 		t.Error("503 without an error message")
 	}
+	assertRetryAfter(t, w, bad)
 	if d := exhausted.Load() - e0; d != 1 {
 		t.Errorf("serve.exhausted advanced by %d, want 1", d)
 	}

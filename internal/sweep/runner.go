@@ -301,6 +301,8 @@ func (r *runner) runCell(c Cell) (Result, error) {
 		model = funcsim.Analytical{Cfg: xcfg}
 	case ModelCircuit:
 		model = funcsim.Circuit{Cfg: xcfg, Degraded: true}
+	case ModelFastCircuit:
+		model = funcsim.FastCircuit{Cfg: xcfg, Degraded: true}
 	case ModelGENIEx:
 		sur, err := r.surrogateFor(xcfg)
 		if err != nil {

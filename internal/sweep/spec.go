@@ -23,10 +23,11 @@ import (
 
 // Model names a cell can select; see runCell for what each executes.
 const (
-	ModelIdeal      = "ideal"
-	ModelAnalytical = "analytical"
-	ModelGENIEx     = "geniex"
-	ModelCircuit    = "circuit"
+	ModelIdeal       = "ideal"
+	ModelAnalytical  = "analytical"
+	ModelGENIEx      = "geniex"
+	ModelCircuit     = "circuit"
+	ModelFastCircuit = "fastcircuit"
 )
 
 // StackSpec is a named non-ideality composition; the name keys cell
@@ -114,7 +115,7 @@ func (s *Spec) Validate() error {
 	}
 	for _, m := range s.Models {
 		switch m {
-		case ModelIdeal, ModelAnalytical, ModelGENIEx, ModelCircuit:
+		case ModelIdeal, ModelAnalytical, ModelGENIEx, ModelCircuit, ModelFastCircuit:
 		default:
 			return fmt.Errorf("sweep: unknown model %q", m)
 		}

@@ -186,8 +186,12 @@ func BatchSolve(cfg Config, g *linalg.Dense, vs *linalg.Dense) (*linalg.Dense, e
 //
 // The returned error covers setup problems only (bad shapes, an
 // unprogrammable conductance matrix); solver failures never abort the
-// batch. Results are deterministic: each item is solved from a cold
-// start, so the output is independent of worker count and scheduling.
+// batch. Results are deterministic under the default StartSeeded (and
+// StartCold) configurations: each item's starting point is a pure
+// function of the programmed conductances and its drive vector, so the
+// output is independent of worker count and scheduling. StartWarm
+// trades that guarantee for speed — items inherit whatever state their
+// pooled instance solved last.
 //
 // Callers that evaluate many batches against the same conductance
 // matrix should hold a NewBatchSolver instead: this function builds
@@ -220,6 +224,12 @@ type BatchSolver struct {
 	faults  *FaultPlan // per-item plan carried by the original config
 	g       *linalg.Dense
 	workers int
+
+	// The operating-point factorization is built once per array and
+	// shared read-only by every pooled instance (each brings its own
+	// scratch), so pool growth costs no refactorization.
+	factOnce sync.Once
+	fact     *opFactor
 
 	mu   sync.Mutex
 	free []*Crossbar // programmed instances ready to solve
@@ -261,6 +271,15 @@ func (s *BatchSolver) newInstance() (*Crossbar, error) {
 	}
 	if err := xb.Program(s.g); err != nil {
 		return nil, err
+	}
+	if s.cfg.Start != StartCold {
+		// Factor once per array; later instances adopt the shared
+		// factor instead of rebuilding it. A nil result (build failure)
+		// simply leaves every instance on the cold-start fallback.
+		s.factOnce.Do(func() { s.fact = xb.ensureFactor() })
+		if s.fact != nil && xb.fact == nil {
+			xb.adoptFactor(s.fact)
+		}
 	}
 	return xb, nil
 }
@@ -308,8 +327,11 @@ func (s *BatchSolver) SolveReport(vs *linalg.Dense) (*linalg.Dense, *BatchReport
 // (Config.BatchWorkers; 0 means GOMAXPROCS). Failed items are retried
 // once under the recovery ladder and zeroed if they still fail; the
 // report carries per-item outcomes. The error covers setup problems
-// only. Results are deterministic and independent of worker count:
-// every item is solved from a cold start and written by index.
+// only. Under StartSeeded (the default) and StartCold, results are
+// deterministic and independent of worker count: every item's starting
+// point depends only on the array and its own drive vector, and each
+// item is written by index. StartWarm gives up that bit-level
+// guarantee (converged results still agree to solver tolerance).
 func (s *BatchSolver) SolveReportInto(out *linalg.Dense, vs *linalg.Dense) (*BatchReport, error) {
 	return s.SolveReportIntoContext(nil, out, vs)
 }

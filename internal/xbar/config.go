@@ -71,6 +71,61 @@ func ParsePolicy(s string) (SolverPolicy, error) {
 	return 0, fmt.Errorf("xbar: unknown solver policy %q (want recover, failfast or besteffort)", s)
 }
 
+// SolverStart selects the starting point of the circuit solver's
+// Newton iteration. The zero value is StartSeeded: the per-programming
+// MNA factorization solves the linearized network at the programmed
+// operating point and Newton starts there instead of from flat zero.
+// The seed is a pure function of the programmed conductances and the
+// drive vector — it is exactly the first cold Newton iterate, computed
+// directly instead of by CG — so the default path stays bit-reproducible
+// at any worker count.
+type SolverStart int
+
+const (
+	// StartSeeded (the default) starts Newton from the factorized
+	// linear solve at the programmed operating point. Deterministic:
+	// results depend only on (conductances, drive), never on solve
+	// history or scheduling.
+	StartSeeded SolverStart = iota
+	// StartCold starts Newton from the flat zero state, the
+	// pre-factorization behaviour. No factorization is built or used;
+	// kept for benchmarks and bit-compatibility with historical runs.
+	StartCold
+	// StartWarm starts Newton from the previous converged solution of
+	// the same crossbar instance when one exists (falling back to the
+	// factorized seed otherwise). Fastest steady-state option, but
+	// results may differ in the last bits depending on solve order, so
+	// batch outputs are no longer bit-identical across worker counts —
+	// an explicit opt-in, surfaced as the funcsim "fastcircuit" tier.
+	StartWarm
+)
+
+// String implements fmt.Stringer.
+func (s SolverStart) String() string {
+	switch s {
+	case StartSeeded:
+		return "seeded"
+	case StartCold:
+		return "cold"
+	case StartWarm:
+		return "warm"
+	}
+	return fmt.Sprintf("SolverStart(%d)", int(s))
+}
+
+// ParseStart converts a CLI-style name into a SolverStart.
+func ParseStart(s string) (SolverStart, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "seeded", "seed":
+		return StartSeeded, nil
+	case "cold":
+		return StartCold, nil
+	case "warm":
+		return StartWarm, nil
+	}
+	return 0, fmt.Errorf("xbar: unknown solver start %q (want seeded, cold or warm)", s)
+}
+
 // Config describes a crossbar design point. The defaults follow the
 // paper's experimental methodology (Section 6).
 type Config struct {
@@ -109,6 +164,11 @@ type Config struct {
 	// Policy selects the solver's non-convergence behaviour; the zero
 	// value (PolicyRecover) runs the recovery ladder.
 	Policy SolverPolicy
+
+	// Start selects the Newton starting point; the zero value
+	// (StartSeeded) uses the per-programming factorization seed. See
+	// SolverStart for the reproducibility trade-offs.
+	Start SolverStart
 
 	// BatchWorkers bounds the goroutines a batch solve fans out across.
 	// Zero (the default) means GOMAXPROCS; 1 forces a fully serial
@@ -167,6 +227,10 @@ func WithLinearDevices() Option { return func(c *Config) { c.NonLinear = false }
 // WithPolicy sets the solver's non-convergence policy.
 func WithPolicy(p SolverPolicy) Option { return func(c *Config) { c.Policy = p } }
 
+// WithStart sets the solver's Newton starting point (seeded, cold or
+// warm).
+func WithStart(s SolverStart) Option { return func(c *Config) { c.Start = s } }
+
 // WithBatchWorkers bounds the goroutines a batch solve fans out
 // across (0 = GOMAXPROCS, 1 = serial).
 func WithBatchWorkers(n int) Option { return func(c *Config) { c.BatchWorkers = n } }
@@ -211,6 +275,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("xbar: RRAM parameters must be positive, got %+v", c.RRAM)
 	case c.Policy < PolicyRecover || c.Policy > PolicyBestEffort:
 		return fmt.Errorf("xbar: invalid solver policy %d", int(c.Policy))
+	case c.Start < StartSeeded || c.Start > StartWarm:
+		return fmt.Errorf("xbar: invalid solver start %d", int(c.Start))
 	case c.BatchWorkers < 0:
 		return fmt.Errorf("xbar: BatchWorkers must be non-negative, got %d", c.BatchWorkers)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"geniex/internal/device"
 	"geniex/internal/linalg"
+	"geniex/internal/obs"
 )
 
 // Crossbar is a programmed crossbar instance ready to solve MVMs at
@@ -31,6 +32,21 @@ type Crossbar struct {
 	// newton iteration controls
 	maxNewton int
 	tolV      float64
+
+	// Per-programming factorization cache (see factor.go). fact is
+	// built lazily on the first non-cold solve after a Program and
+	// invalidated by the next one; factScr is this instance's scratch;
+	// precond wraps both for the inner CG solves. activePrecond is
+	// non-nil only during the seeded rung-0 attempt — recovery rungs
+	// keep the legacy Jacobi path.
+	fact          *opFactor
+	factScr       *factorScratch
+	factErr       bool // factor build failed; cold-start until reprogrammed
+	precond       *factorPrecond
+	activePrecond *factorPrecond
+	// warmOK marks x.volt as a converged solution of the current
+	// programming, usable as a StartWarm starting point.
+	warmOK bool
 
 	// faults is the active test-only fault-injection plan (usually nil).
 	faults *FaultPlan
@@ -142,7 +158,55 @@ func (x *Crossbar) Program(g *linalg.Dense) error {
 	}
 	x.g = prog
 	x.cell = cells
+	// Reprogramming (including FaultPlan stuck-at application and
+	// nonideal re-lowering, which both arrive through Program)
+	// invalidates the operating-point factorization and any warm state.
+	if x.fact != nil {
+		x.fact = nil
+		x.precond = nil
+		if obs.Enabled() {
+			mFactorInvalidations.Inc()
+		}
+	}
+	x.activePrecond = nil
+	x.factErr = false
+	x.warmOK = false
 	return nil
+}
+
+// ensureFactor returns the cached operating-point factorization,
+// building it on first use after a Program. It returns nil when the
+// configuration forbids it (StartCold) or when a build failed — the
+// caller then falls back to the legacy cold start.
+func (x *Crossbar) ensureFactor() *opFactor {
+	if x.cfg.Start == StartCold || x.factErr {
+		return nil
+	}
+	if x.fact == nil {
+		f, err := x.buildFactor()
+		if err != nil {
+			x.factErr = true
+			if obs.Enabled() {
+				mFactorBuildFailures.Inc()
+			}
+			return nil
+		}
+		x.adoptFactor(f)
+		if obs.Enabled() {
+			mFactorBuilds.Inc()
+		}
+	}
+	return x.fact
+}
+
+// adoptFactor installs a factorization — built here or shared by a
+// BatchSolver pool — with this instance's own scratch.
+func (x *Crossbar) adoptFactor(f *opFactor) {
+	x.fact = f
+	if x.factScr == nil {
+		x.factScr = newFactorScratch(x.cfg)
+	}
+	x.precond = &factorPrecond{f: f, ws: x.factScr}
 }
 
 // Conductances returns a copy of the programmed conductance matrix.

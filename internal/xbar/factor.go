@@ -1,0 +1,226 @@
+package xbar
+
+import (
+	"geniex/internal/linalg"
+)
+
+// opFactor is the direct factorization of the MNA system linearized at
+// the programmed zero-bias operating point. Tile conductances are
+// frozen between Program calls — only the drive voltages change — so
+// the linear part of every solve on this programming is the same
+// system, and it factors exactly along the netlist's structure:
+//
+//  1. Every mid node sits between exactly two elements (selector and
+//     cell), so it eliminates in closed form, leaving the series
+//     conductance gs = gsel·gcell/(gsel+gcell) between its row and
+//     column node.
+//  2. Each word line is then a tridiagonal chain over its row nodes,
+//     coupled to the column nodes only through diag(gs) — eliminating
+//     it is one LDLᵀ per row.
+//  3. What remains is a symmetric block tridiagonal system over the
+//     bit-line levels: dense Cols×Cols Schur-complement blocks per
+//     word-line level, −gw·I between adjacent levels.
+//
+// Factoring costs O(Rows·Cols³) once per Program; each subsequent
+// solve is O(Rows·Cols²) of pure back-substitution. The factor is
+// immutable after construction and safe to share across a BatchSolver
+// pool — per-instance scratch lives in factorScratch.
+//
+// It serves two roles: solving the linearized system at the programmed
+// operating point to seed Newton (replacing the flat-zero cold start —
+// the seed equals the first cold Newton iterate, computed directly),
+// and preconditioning the inner CG solves of the remaining Newton
+// updates.
+type opFactor struct {
+	rows, cols int
+	gsrc       float64
+	gsel       float64   // selector zero-bias conductance (shared element)
+	gcell      []float64 // per-cell RRAM zero-bias conductance, row-major
+	gs         []float64 // per-cell series conductance, row-major
+
+	rowTri []*linalg.Tridiag    // word-line chain factors, one per row
+	col    *linalg.BlockTridiag // bit-line level system factor
+}
+
+// factorScratch is the per-Crossbar workspace for opFactor solves. The
+// factor itself is shared and read-only; every instance brings its
+// own scratch.
+type factorScratch struct {
+	b   []float64 // full 3·R·C right-hand side for seed solves
+	y   []float64 // per-row tridiagonal solve buffer (Cols)
+	tmp []float64 // block-tridiagonal solve scratch (Cols)
+}
+
+func newFactorScratch(cfg Config) *factorScratch {
+	return &factorScratch{
+		b:   make([]float64, 3*cfg.Rows*cfg.Cols),
+		y:   make([]float64, cfg.Cols),
+		tmp: make([]float64, cfg.Cols),
+	}
+}
+
+// buildFactor factors the linearized MNA system for the current
+// programming. It fails only on a non-positive-definite reduction,
+// which a physical conductance matrix cannot produce; callers treat
+// failure as "fall back to cold starts".
+func (x *Crossbar) buildFactor() (*opFactor, error) {
+	cfg := x.cfg
+	R, C := cfg.Rows, cfg.Cols
+	gw := 1 / cfg.Rwire
+	f := &opFactor{
+		rows:  R,
+		cols:  C,
+		gsrc:  1 / cfg.Rsource,
+		gsel:  x.sel.Conductance(0),
+		gcell: make([]float64, R*C),
+		gs:    make([]float64, R*C),
+	}
+	for k, cell := range x.cell {
+		gc := cell.Conductance(0)
+		f.gcell[k] = gc
+		f.gs[k] = f.gsel * gc / (f.gsel + gc)
+	}
+
+	// Word-line chains: tridiagonal over the row nodes of each row.
+	diag := make([]float64, C)
+	off := make([]float64, max(C-1, 0))
+	for i := range off {
+		off[i] = -gw
+	}
+	f.rowTri = make([]*linalg.Tridiag, R)
+	for i := 0; i < R; i++ {
+		for j := 0; j < C; j++ {
+			deg := 0
+			if j > 0 {
+				deg++
+			}
+			if j+1 < C {
+				deg++
+			}
+			diag[j] = gw*float64(deg) + f.gs[i*C+j]
+			if j == 0 {
+				diag[j] += f.gsrc
+			}
+		}
+		t, err := linalg.FactorTridiag(diag, off)
+		if err != nil {
+			return nil, err
+		}
+		f.rowTri[i] = t
+	}
+
+	// Bit-line levels: dense Schur-complement blocks
+	// D_i = diag(cdiag_i) − diag(gs_i)·A_i⁻¹·diag(gs_i), with −gw·I
+	// between adjacent levels.
+	gsnk := 1 / cfg.Rsink
+	blocks := make([]*linalg.Dense, R)
+	offBlocks := make([][]float64, max(R-1, 0))
+	col := make([]float64, C)
+	for i := 0; i < R; i++ {
+		d := linalg.NewDense(C, C)
+		for j := 0; j < C; j++ {
+			deg := 0
+			if i > 0 {
+				deg++
+			}
+			if i+1 < R {
+				deg++
+			}
+			cd := gw*float64(deg) + f.gs[i*C+j]
+			if i == R-1 {
+				cd += gsnk
+			}
+			d.Set(j, j, cd)
+		}
+		for k := 0; k < C; k++ {
+			linalg.Fill(col, 0)
+			col[k] = f.gs[i*C+k]
+			f.rowTri[i].SolveInto(col, col)
+			for j := 0; j < C; j++ {
+				d.Data[j*C+k] -= f.gs[i*C+j] * col[j]
+			}
+		}
+		blocks[i] = d
+		if i+1 < R {
+			e := make([]float64, C)
+			linalg.Fill(e, -gw)
+			offBlocks[i] = e
+		}
+	}
+	bt, err := linalg.FactorBlockTridiag(blocks, offBlocks)
+	if err != nil {
+		return nil, err
+	}
+	f.col = bt
+	return f, nil
+}
+
+// solveInto solves J₀·out = b for the full 3·R·C node vector, where J₀
+// is the MNA Jacobian at the programmed zero-bias operating point. out
+// may alias b. Allocation-free; safe for concurrent use with distinct
+// scratch.
+func (f *opFactor) solveInto(out, b []float64, ws *factorScratch) {
+	R, C := f.rows, f.cols
+	RC := R * C
+	// Mid-node reduction: vm = (b_m + gsel·vr + gcell·vc)/(gsel+gcell)
+	// folds b_m into the row and column right-hand sides.
+	for k := 0; k < RC; k++ {
+		gt := f.gsel + f.gcell[k]
+		bm := b[RC+k]
+		out[k] = b[k] + f.gsel/gt*bm
+		out[2*RC+k] = b[2*RC+k] + f.gcell[k]/gt*bm
+		out[RC+k] = bm
+	}
+	// Row elimination: fold A_i⁻¹·br_i into the column rhs.
+	for i := 0; i < R; i++ {
+		f.rowTri[i].SolveInto(ws.y, out[i*C:(i+1)*C])
+		bc := out[2*RC+i*C : 2*RC+(i+1)*C]
+		for j := 0; j < C; j++ {
+			bc[j] += f.gs[i*C+j] * ws.y[j]
+		}
+	}
+	// Bit-line block solve, in place.
+	vc := out[2*RC : 3*RC]
+	f.col.SolveInto(vc, vc, ws.tmp)
+	// Back-substitute the row nodes: vr_i = A_i⁻¹(br_i + gs_i∘vc_i).
+	for i := 0; i < R; i++ {
+		vr := out[i*C : (i+1)*C]
+		for j := 0; j < C; j++ {
+			ws.y[j] = vr[j] + f.gs[i*C+j]*vc[i*C+j]
+		}
+		f.rowTri[i].SolveInto(vr, ws.y)
+	}
+	// Recover the mid nodes.
+	for k := 0; k < RC; k++ {
+		gt := f.gsel + f.gcell[k]
+		out[RC+k] = (out[RC+k] + f.gsel*out[k] + f.gcell[k]*out[2*RC+k]) / gt
+	}
+}
+
+// seedInto writes the Newton seed for drive vector v into volt: the
+// solution of the linearized network, whose only source injections are
+// the Norton drive currents gsrc·v_i at each row head. Because every
+// device law has I(0) = 0, the companion sources vanish at the zero
+// state, making this exactly the system the first cold Newton update
+// solves — the seed replaces that update (and its CG solve) with
+// direct back-substitution.
+func (f *opFactor) seedInto(volt, v []float64, ws *factorScratch) {
+	linalg.Fill(ws.b, 0)
+	for i := 0; i < f.rows; i++ {
+		ws.b[i*f.cols] = f.gsrc * v[i]
+	}
+	f.solveInto(volt, ws.b, ws)
+}
+
+// factorPrecond adapts an opFactor to linalg.Preconditioner: M = J₀,
+// the exact Jacobian at the operating point. J₀ is SPD (it is the
+// conductance Laplacian plus positive source/sink terms), and stays
+// close to the Jacobian at nearby iterates, so the inner CG solves of
+// the seeded Newton rung converge in a handful of iterations instead
+// of O(√cond) Jacobi-preconditioned ones.
+type factorPrecond struct {
+	f  *opFactor
+	ws *factorScratch
+}
+
+func (p *factorPrecond) PrecondInto(z, r []float64) { p.f.solveInto(z, r, p.ws) }

@@ -29,6 +29,23 @@ var (
 	mRungSourceStep = obs.NewCounter("xbar.solver.rung.source_step")
 	mRungBestEffort = obs.NewCounter("xbar.solver.rung.best_effort")
 
+	// Factorization-cache counters: builds/invalidations follow the
+	// Program lifecycle, reuses counts solves that consumed a cached
+	// factor (as seed, warm-start precondition, or both), newton_saved
+	// counts Newton updates replaced by direct factorized solves (one
+	// per seeded start — the first cold update computes the same linear
+	// solve iteratively), warm_starts counts StartWarm solves that
+	// reused the previous converged state, and reseeds counts warm
+	// starts that failed rung 0 and fell back to the factorization
+	// seed before any recovery rung ran.
+	mFactorBuilds        = obs.NewCounter("xbar.solver.factor.builds")
+	mFactorInvalidations = obs.NewCounter("xbar.solver.factor.invalidations")
+	mFactorBuildFailures = obs.NewCounter("xbar.solver.factor.build_failures")
+	mFactorReuses        = obs.NewCounter("xbar.solver.factor.reuses")
+	mFactorNewtonSaved   = obs.NewCounter("xbar.solver.factor.newton_saved")
+	mFactorWarmStarts    = obs.NewCounter("xbar.solver.factor.warm_starts")
+	mFactorReseeds       = obs.NewCounter("xbar.solver.factor.reseeds")
+
 	mBatchCalls   = obs.NewCounter("xbar.batch.calls")
 	mBatchItems   = obs.NewCounter("xbar.batch.items")
 	mBatchRetried = obs.NewCounter("xbar.batch.retried")
@@ -49,6 +66,15 @@ func recordSolve(sol *Solution, err error, start time.Time) {
 			mNewtonIters.Observe(float64(nde.Iters))
 		}
 		return
+	}
+	if sol.Seeded || sol.WarmStarted {
+		mFactorReuses.Inc()
+	}
+	if sol.Seeded {
+		mFactorNewtonSaved.Inc()
+	}
+	if sol.WarmStarted {
+		mFactorWarmStarts.Inc()
 	}
 	mNewtonIters.Observe(float64(sol.NewtonIters))
 	mCGIters.Observe(float64(sol.CGIters))

@@ -106,6 +106,15 @@ type Solution struct {
 	// (plain Newton), "damped", "source-step", or "best-effort" when
 	// nothing converged under PolicyBestEffort.
 	Recovery string
+	// Seeded reports that Newton started from the factorized linear
+	// solve at the programmed operating point instead of flat zero.
+	// Each seeded start replaces exactly one Newton update (the first
+	// cold one computes the same linear solve, by CG) plus its inner
+	// iterations.
+	Seeded bool
+	// WarmStarted reports that Newton started from the previous
+	// converged solution of this instance (StartWarm only).
+	WarmStarted bool
 	// DampedSteps counts backtracked Newton steps.
 	DampedSteps int
 	// LUFallbacks counts linear solves rescued by the direct-LU path
@@ -164,6 +173,10 @@ func (x *Crossbar) solve(ctx context.Context, v []float64, policy SolverPolicy) 
 	region := obs.StartRegion("xbar.solve")
 	sol, err := x.runLadder(ctx, v, policy)
 	region.End()
+	// x.volt is a valid StartWarm starting point only after a converged
+	// solve of this programming; failures and best-effort iterates
+	// would seed the next solve from a bad basin.
+	x.warmOK = err == nil && sol.Converged
 	if err != nil && canceled(err) {
 		if obs.Enabled() {
 			mSolveCancelled.Inc()
@@ -203,11 +216,18 @@ func (x *Crossbar) runLadder(ctx context.Context, v []float64, policy SolverPoli
 		return ok
 	}
 
-	// Rung 0: plain Newton from the flat zero state. Warm-starting from
-	// an unrelated input can put the iteration in a bad basin and costs
-	// reproducibility.
-	linalg.Fill(x.volt, 0)
+	// Rung 0: plain Newton. The starting point follows Config.Start —
+	// the factorized operating-point seed by default, the previous
+	// converged solution under StartWarm, flat zero under StartCold —
+	// and the cached factorization preconditions the inner CG solves
+	// whenever it is available.
+	x.startRung0(v, sol)
 	ok, err := x.newtonIterate(ctx, v, false, policy, sol)
+	// Recovery rungs keep the legacy cold-start Jacobi-CG path: their
+	// value is being a *different* strategy from the one that just
+	// failed, and the Jacobian far from the operating point (saturated
+	// selectors, source-stepping continuation) is no longer close to J₀.
+	x.activePrecond = nil
 	if err != nil && canceled(err) {
 		return nil, err
 	}
@@ -215,6 +235,35 @@ func (x *Crossbar) runLadder(ctx context.Context, v []float64, policy SolverPoli
 		return x.finish(v, sol, ""), nil
 	}
 	cause = err
+
+	// A failed warm start is a bad initial guess, not a hard circuit:
+	// the previous converged state can sit in the wrong basin when
+	// consecutive inputs are uncorrelated. Retry rung 0 from the
+	// deterministic factorization seed — the same start a non-warm
+	// solve would have used — before escalating to the far more
+	// expensive damped/continuation rungs.
+	if sol.WarmStarted {
+		if f := x.ensureFactor(); f != nil {
+			sol.WarmStarted = false
+			sol.Seeded = true
+			if obs.Enabled() {
+				mFactorReseeds.Inc()
+			}
+			x.activePrecond = x.precond
+			f.seedInto(x.volt, v, x.factScr)
+			ok, err = x.newtonIterate(ctx, v, false, policy, sol)
+			x.activePrecond = nil
+			if err != nil && canceled(err) {
+				return nil, err
+			}
+			if err != nil && cause == nil {
+				cause = err
+			}
+			if record(ok, 0, "newton-reseed") {
+				return x.finish(v, sol, ""), nil
+			}
+		}
+	}
 	if policy == PolicyFailFast {
 		if err != nil {
 			return nil, err
@@ -257,6 +306,27 @@ func (x *Crossbar) runLadder(ctx context.Context, v []float64, policy SolverPoli
 		return x.finish(v, sol, "best-effort"), nil
 	}
 	return nil, x.diverged(sol, attempts, cause)
+}
+
+// startRung0 loads the rung-0 Newton starting point into x.volt per
+// Config.Start and arms the factorization preconditioner for the
+// attempt. With no factorization available (StartCold, or a build
+// failure) it falls back to the legacy flat-zero start.
+func (x *Crossbar) startRung0(v []float64, sol *Solution) {
+	x.activePrecond = nil
+	f := x.ensureFactor()
+	if f == nil {
+		linalg.Fill(x.volt, 0)
+		return
+	}
+	x.activePrecond = x.precond
+	if x.cfg.Start == StartWarm && x.warmOK {
+		// x.volt already holds the previous converged solution.
+		sol.WarmStarted = true
+		return
+	}
+	f.seedInto(x.volt, v, x.factScr)
+	sol.Seeded = true
 }
 
 func (x *Crossbar) diverged(sol *Solution, attempts []string, cause error) error {
@@ -384,7 +454,11 @@ func (x *Crossbar) newtonIterate(ctx context.Context, v []float64, damped bool, 
 		if x.faults != nil && x.faults.CGBreakdownAt == update {
 			err = &linalg.BreakdownError{Iteration: 1, PAP: -1} // injected
 		} else {
-			stats, err = linalg.SolveCG(x.pattern.Matrix(), x.rhs, x.delta, x.ws, linalg.CGOptions{Tol: 1e-12})
+			opt := linalg.CGOptions{Tol: 1e-12}
+			if x.activePrecond != nil {
+				opt.Precond = x.activePrecond
+			}
+			stats, err = linalg.SolveCG(x.pattern.Matrix(), x.rhs, x.delta, x.ws, opt)
 		}
 		sol.CGIters += stats.Iterations
 		sol.NewtonIters++
