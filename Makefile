@@ -10,9 +10,9 @@ GO ?= go
 # instrumentation.
 RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs ./internal/serve
 
-.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke sweep-smoke
+.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke sweep-smoke calib-smoke tier-registry-gate
 
-check: fmt vet build test race obs-smoke trace-smoke serve-smoke sweep-smoke
+check: fmt vet build test race obs-smoke trace-smoke serve-smoke sweep-smoke calib-smoke tier-registry-gate
 
 # gofmt cleanliness gate: fails listing the offending files.
 fmt:
@@ -36,7 +36,7 @@ race:
 # the circuit cold/seeded/warm start comparison. benchjson tees the
 # table to stdout and writes $(BENCH_OUT); override BENCH_OUT to keep
 # older trajectory files.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem . \
@@ -69,3 +69,17 @@ serve-smoke:
 # every result file is byte-identical to the uninterrupted run's.
 sweep-smoke:
 	$(GO) run ./scripts/sweepsmoke
+
+# End-to-end online-calibration gate: a frozen and a calibrated GENIEx
+# tier under concurrent MVM traffic; the calibrated tier's probe rRMSE
+# must end >= 2x lower, with >= 1 hot-swap and zero failed MVMs.
+calib-smoke:
+	$(GO) run ./scripts/calibsmoke
+
+# The model registry is the single source of truth for fidelity-tier
+# names: no Go file may switch on tier-name strings (funcsim-run,
+# geniex-serve, sweep and the examples all resolve through
+# funcsim.ModelByName).
+tier-registry-gate:
+	@if grep -rn --include='*.go' -E 'case "(ideal|analytical|geniex|geniex-adaptive|circuit|fastcircuit)"' .; then \
+		echo "tier-name string switch found; use funcsim.ModelByName"; exit 1; fi

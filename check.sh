@@ -20,3 +20,9 @@ go run ./cmd/funcsim-run -mode ideal -size 8 -train 24 -test 6 \
 go run ./scripts/tracecheck trace_smoke.json
 go run ./scripts/servesmoke
 go run ./scripts/sweepsmoke
+go run ./scripts/calibsmoke
+# Tier names resolve only through the funcsim model registry: no Go
+# file may switch on tier-name strings.
+if grep -rn --include='*.go' -E 'case "(ideal|analytical|geniex|geniex-adaptive|circuit|fastcircuit)"' .; then
+	echo "tier-name string switch found; use funcsim.ModelByName"; exit 1
+fi

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"geniex/internal/core"
@@ -33,7 +34,7 @@ func main() {
 func run() error {
 	var (
 		dsName    = flag.String("dataset", "cifar", "dataset: cifar or imagenet")
-		mode      = flag.String("mode", "geniex", "analog model: ideal, analytical, geniex, circuit or fastcircuit")
+		mode      = flag.String("mode", "geniex", "analog model: "+strings.Join(funcsim.ModelNames(), ", "))
 		size      = flag.Int("size", 16, "crossbar (tile) size")
 		vdd       = flag.Float64("vdd", 0.25, "supply voltage (volts)")
 		ron       = flag.Float64("ron", 100e3, "ON resistance (ohms)")
@@ -53,6 +54,7 @@ func run() error {
 		degraded  = flag.Bool("degraded", false, "circuit mode: continue with zeroed currents for batch items that fail even after recovery")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "concurrent tile tasks per MVM: 0 = all cores, 1 = serial (results are bit-identical at any setting)")
+		batchWork = flag.Int("batch-workers", -1, "circuit modes: concurrent solves inside one tile's batch (-1 = auto: 1 when tile tasks already fan out, else all cores)")
 
 		gxSamples = flag.Int("geniex-samples", 500, "geniex mode: dataset samples for surrogate training")
 		gxEpochs  = flag.Int("geniex-epochs", 150, "geniex mode: surrogate training epochs")
@@ -93,11 +95,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	batchWorkers := 0
-	if (*mode == "circuit" || *mode == "fastcircuit") && *workers != 1 {
-		// Tile tasks already saturate the cores; keep each circuit batch
-		// solve on its worker instead of fanning out a second time.
-		batchWorkers = 1
+	spec, err := funcsim.ModelByName(*mode)
+	if err != nil {
+		return err
+	}
+	// Batch-level concurrency inside circuit tile solves is correct at
+	// any setting: pooled circuit batches are bit-identical at any
+	// BatchWorkers count, including nested under the tile fan-out
+	// (TestMVMCircuitBatchWorkersBitIdentical). The auto default still
+	// picks 1 when tile tasks already fan out across the cores —
+	// nesting a second fan-out there adds scheduling overhead without
+	// adding parallelism, and fastcircuit's warm starts additionally
+	// lose bit-reproducibility with concurrent batch items (see
+	// funcsim.FastCircuit). -batch-workers overrides the heuristic for
+	// flat workloads (one huge tile) where intra-batch concurrency is
+	// the only parallelism available.
+	batchWorkers := *batchWork
+	if batchWorkers < 0 {
+		batchWorkers = 0
+		if spec.Circuit && *workers != 1 {
+			batchWorkers = 1
+		}
 	}
 	xcfg, err := xbar.NewConfig(*size, *size,
 		xbar.WithVsupply(*vdd), xbar.WithRon(*ron), xbar.WithOnOffRatio(*onoff),
@@ -125,20 +143,17 @@ func run() error {
 	floatAcc := models.TestAccuracy(net, set, 64)
 	fmt.Printf("float32 accuracy: %.2f%%\n", 100*floatAcc)
 
-	var model funcsim.Model
+	// Build the analog model through the registry: the spec says what
+	// the factory needs (solver health for circuit tiers, a trained
+	// surrogate for GENIEx tiers); the tier-name switch that used to
+	// live here is gone.
+	params := funcsim.ModelParams{Xbar: simCfg.Xbar, Degraded: *degraded}
 	var health *funcsim.SolverHealth
-	switch *mode {
-	case "ideal":
-		model = funcsim.Ideal{}
-	case "analytical":
-		model = funcsim.Analytical{Cfg: simCfg.Xbar}
-	case "circuit":
+	if spec.Circuit {
 		health = &funcsim.SolverHealth{}
-		model = funcsim.Circuit{Cfg: simCfg.Xbar, Degraded: *degraded, Health: health}
-	case "fastcircuit":
-		health = &funcsim.SolverHealth{}
-		model = funcsim.FastCircuit{Cfg: simCfg.Xbar, Degraded: *degraded, Health: health}
-	case "geniex":
+		params.Health = health
+	}
+	if spec.NeedsSurrogate {
 		var gx *core.Model
 		if *geniexM != "" {
 			var err error
@@ -167,9 +182,11 @@ func run() error {
 				return err
 			}
 		}
-		model = funcsim.GENIEx{Model: gx}
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		params.Surrogate = gx
+	}
+	model, err := spec.New(params)
+	if err != nil {
+		return err
 	}
 	if *noise > 0 {
 		model = &funcsim.Noisy{

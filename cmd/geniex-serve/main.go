@@ -22,8 +22,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"geniex/internal/calib"
 	"geniex/internal/core"
 	"geniex/internal/dataset"
 	"geniex/internal/funcsim"
@@ -45,7 +47,7 @@ func main() {
 func run() error {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		tiers = flag.String("tiers", "analytical,ideal", "fidelity ladder, most faithful first: comma-separated subset of circuit,fastcircuit,geniex,analytical,ideal; the last is the floor")
+		tiers = flag.String("tiers", "analytical,ideal", "fidelity ladder, most faithful first: comma-separated subset of "+strings.Join(funcsim.ModelNames(), ",")+"; the last is the floor")
 
 		// Model and design point. The defaults keep startup fast; the
 		// server's point is resilience machinery, not accuracy.
@@ -81,6 +83,9 @@ func run() error {
 		// solver and shed the faithful tier when divergence drifts.
 		probeRate  = flag.Int("probe-rate", 0, "sample 1 in n tile MVMs through the fidelity probe (0 disables)")
 		driftLimit = flag.Float64("drift-limit", 0, "probe drift above which the probed tier is distrusted (0 disables)")
+		sloRRMSE   = flag.Float64("slo-rrmse", 0, "fidelity SLO: probe rRMSE EWMA above which a probed tier is distrusted and (with -calibrate) recalibration triggers (0 disables)")
+		calibrate  = flag.Bool("calibrate", false, "adaptive tiers: fine-tune the surrogate in the background on probe shadow-solves and hot-swap improved versions into live traffic (needs -probe-rate)")
+		canaryN    = flag.Int("calibrate-canary", 16, "adaptive tiers: while distrusted, let 1 in n requests through anyway so the probe keeps sampling and calibration can both train and observe recovery (0 starves the loop)")
 
 		// Chaos layer (tests and smoke): see serve.ChaosPolicy.
 		chaosLatency  = flag.Duration("chaos-latency", 0, "chaos: latency injected into tier execution")
@@ -118,12 +123,17 @@ func run() error {
 	}
 
 	fxp := quant.FxP{Bits: *bits, Frac: *bits - 3}
-	newSimCfg := func(xcfg xbar.Config, probe int) (funcsim.Config, error) {
-		return funcsim.NewConfig(xcfg,
+	newSimCfg := func(xcfg xbar.Config, probe int, swappable bool) (funcsim.Config, error) {
+		opts := []funcsim.Option{
 			funcsim.WithFormats(fxp, fxp),
 			funcsim.WithStreamBits(*streams), funcsim.WithSliceBits(*slices),
 			funcsim.WithADCBits(*adcBits), funcsim.WithWorkers(*workers),
-			funcsim.WithProbeRate(probe))
+			funcsim.WithProbeRate(probe),
+		}
+		if swappable {
+			opts = append(opts, funcsim.WithSwappable())
+		}
+		return funcsim.NewConfig(xcfg, opts...)
 	}
 
 	chaos := &serve.ChaosPolicy{
@@ -140,49 +150,62 @@ func run() error {
 		}
 	}
 
-	var ladder []serve.Tier
+	var (
+		ladder   []serve.Tier
+		prevRank int
+		sharedGX *core.Model // surrogate trained once, shared by every tier that needs it
+	)
 	for i, name := range tierNames {
 		name = strings.TrimSpace(name)
+		spec, err := funcsim.ModelByName(name)
+		if err != nil {
+			return err
+		}
+		// The ladder degrades: each tier must be strictly less faithful
+		// than the one before it, by registry rank.
+		if i > 0 && spec.Rank >= prevRank {
+			return fmt.Errorf("tier %q (rank %d) is not less faithful than its predecessor (rank %d); order -tiers most faithful first",
+				name, spec.Rank, prevRank)
+		}
+		prevRank = spec.Rank
+
 		xcfg, err := xbar.NewConfig(*size, *size, xbar.WithBatchWorkers(1))
 		if err != nil {
 			return err
 		}
-		isCircuitTier := name == "circuit" || name == "fastcircuit"
-		if isCircuitTier && chaos.Faults != nil {
+		if spec.Circuit && chaos.Faults != nil {
 			xcfg = xcfg.WithFaults(chaos.Faults)
 		}
-		// The fidelity probe rides on the first tier only: it
-		// shadow-solves that tier's MVMs through the circuit solver,
-		// which is the divergence that matters for distrust. Both
-		// circuit tiers already run that solver, so neither needs it.
+		// The fidelity probe rides on the first non-circuit tier (both
+		// circuit tiers already run the solver it shadows) — and, with
+		// -calibrate, on every adaptive tier, whose calibrator feeds on
+		// the probe's shadow-solves.
+		adaptive := spec.Adaptive && *calibrate
 		probe := 0
-		if i == 0 && !isCircuitTier {
+		if (i == 0 || adaptive) && !spec.Circuit {
 			probe = *probeRate
 		}
-		simCfg, err := newSimCfg(xcfg, probe)
+		simCfg, err := newSimCfg(xcfg, probe, adaptive)
 		if err != nil {
 			return err
 		}
 
-		var model funcsim.Model
-		switch name {
-		case "ideal":
-			model = funcsim.Ideal{}
-		case "analytical":
-			model = funcsim.Analytical{Cfg: simCfg.Xbar}
-		case "circuit":
-			model = funcsim.Circuit{Cfg: simCfg.Xbar, Degraded: false, Health: &funcsim.SolverHealth{}}
-		case "fastcircuit":
-			model = funcsim.FastCircuit{Cfg: simCfg.Xbar, Degraded: false, Health: &funcsim.SolverHealth{}}
-		case "geniex":
-			fmt.Println("serve: training GENIEx surrogate...")
-			gx, err := trainSurrogate(simCfg.Xbar, *streams, *slices, *gxSamples, *gxEpochs, *seed)
-			if err != nil {
-				return err
+		params := funcsim.ModelParams{Xbar: simCfg.Xbar}
+		if spec.Circuit {
+			params.Health = &funcsim.SolverHealth{}
+		}
+		if spec.NeedsSurrogate {
+			if sharedGX == nil {
+				fmt.Println("serve: training GENIEx surrogate...")
+				if sharedGX, err = trainSurrogate(simCfg.Xbar, *streams, *slices, *gxSamples, *gxEpochs, *seed); err != nil {
+					return err
+				}
 			}
-			model = funcsim.GENIEx{Model: gx}
-		default:
-			return fmt.Errorf("unknown tier %q (want circuit, fastcircuit, geniex, analytical or ideal)", name)
+			params.Surrogate = sharedGX
+		}
+		model, err := spec.New(params)
+		if err != nil {
+			return err
 		}
 
 		eng, err := funcsim.NewEngine(simCfg, model)
@@ -194,15 +217,51 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		tier := serve.Tier{Name: name, Runner: sim}
+		tier := serve.Tier{Name: name, Runner: sim, Version: eng.ModelVersion}
 		if i < len(tierNames)-1 {
 			tier.ShedAt = *shedAt
 		}
-		if p := eng.Probe(); p != nil && *driftLimit > 0 {
-			limit := *driftLimit
+		if p := eng.Probe(); p != nil && (*driftLimit > 0 || *sloRRMSE > 0) {
+			limit, slo := *driftLimit, *sloRRMSE
+			// A distrusted tier serves no traffic, so its probe stops
+			// sampling — which would starve the calibrator of training
+			// data AND freeze the very gauges that could clear the
+			// distrust. While calibrating, canary 1 in n requests
+			// through the gate to keep the loop live.
+			canary := &atomic.Uint64{}
+			canaryEvery := uint64(0)
+			if adaptive && *canaryN > 0 {
+				canaryEvery = uint64(*canaryN)
+			}
 			tier.Distrust = func() bool {
 				st := p.Stats()
-				return st.BaselineRecorded && st.Drift > limit
+				out := (limit > 0 && st.BaselineRecorded && st.Drift > limit) ||
+					(slo > 0 && st.RRMSEEWMA > slo)
+				if out && canaryEvery > 0 && canary.Add(1)%canaryEvery == 0 {
+					return false
+				}
+				return out
+			}
+		}
+		if adaptive {
+			if p := eng.Probe(); p == nil {
+				return fmt.Errorf("tier %q: -calibrate needs -probe-rate > 0 (the calibrator trains on probe shadow-solves)", name)
+			} else {
+				cal, err := calib.New(calib.Config{
+					Model: sharedGX,
+					Probe: p,
+					Swap: func(m *core.Model) (int64, error) {
+						return eng.SwapModel(funcsim.GENIEx{Model: m})
+					},
+					SLO:            *sloRRMSE,
+					DriftThreshold: *driftLimit,
+					Seed:           *seed + 100,
+				})
+				if err != nil {
+					return err
+				}
+				defer cal.Close()
+				fmt.Printf("serve: tier %s: online calibration armed (slo-rrmse %g, drift-limit %g)\n", name, *sloRRMSE, *driftLimit)
 			}
 		}
 		ladder = append(ladder, tier)

@@ -57,16 +57,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. Evaluate the three simulation modes.
-	for _, mode := range []struct {
-		name  string
-		model funcsim.Model
-	}{
-		{"ideal FxP ", funcsim.Ideal{}},
-		{"analytical", funcsim.Analytical{Cfg: simCfg.Xbar}},
-		{"GENIEx    ", funcsim.GENIEx{Model: gx}},
-	} {
-		eng, err := funcsim.NewEngine(simCfg, mode.model)
+	// 4. Evaluate the simulation modes through the model registry, in
+	// fidelity-ladder order (the paper compares ideal, analytical and
+	// GENIEx; the circuit tiers are skipped here to keep the example
+	// fast).
+	for _, name := range []string{"geniex", "analytical", "ideal"} {
+		spec, err := funcsim.ModelByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params := funcsim.ModelParams{Xbar: simCfg.Xbar}
+		if spec.NeedsSurrogate {
+			params.Surrogate = gx
+		}
+		model, err := spec.New(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := funcsim.NewEngine(simCfg, model)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,8 +86,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s accuracy: %6.2f%%  (degradation %+.2f%%)\n",
-			mode.name, 100*acc, 100*(floatAcc-acc))
+		fmt.Printf("%-10s accuracy: %6.2f%%  (degradation %+.2f%%)\n",
+			name, 100*acc, 100*(floatAcc-acc))
 	}
 	fmt.Println("\nthe analytical model, blind to device non-linearity, overestimates the degradation.")
 }

@@ -1,0 +1,30 @@
+package calib
+
+import "geniex/internal/obs"
+
+// Metric handles for the online-calibration loop, registered once in
+// the process-wide obs registry. Like the probe's counters these
+// always record (no obs.Enabled gate): an operator diagnosing a
+// misbehaving calibration loop needs them even with sampling off, and
+// every one of them is off the MVM hot path.
+var (
+	// Capture side: samples offered by the probe tap; drops are
+	// visible in the reservoir stats and funcsim.probe metrics.
+	mSamplesCaptured = obs.NewCounter("calib.samples.captured")
+	mSamplesDropped  = obs.NewCounter("calib.samples.dropped")
+
+	// Tuning side.
+	mRounds         = obs.NewCounter("calib.rounds")
+	mRoundsSkipped  = obs.NewCounter("calib.rounds_skipped")
+	mRoundsRejected = obs.NewCounter("calib.rounds_rejected")
+	mRoundErrors    = obs.NewCounter("calib.round_errors")
+	mSteps          = obs.NewCounter("calib.steps")
+
+	// Publish side: hot-swaps performed, last published engine model
+	// version, and the in-sample rRMSE before/after the last round
+	// (micro units; divide by 1e6).
+	mSwaps     = obs.NewCounter("calib.swaps")
+	mVersion   = obs.NewGauge("calib.version")
+	mPreRRMSE  = obs.NewGauge("calib.pre_rrmse_micro")
+	mPostRRMSE = obs.NewGauge("calib.post_rrmse_micro")
+)

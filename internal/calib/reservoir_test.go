@@ -1,0 +1,175 @@
+package calib
+
+import (
+	"testing"
+
+	"geniex/internal/linalg"
+	"geniex/internal/xbar"
+)
+
+func testResConfig(perRegime int, seed uint64) ReservoirConfig {
+	cfg := xbar.DefaultConfig()
+	return ReservoirConfig{
+		Regimes:   4,
+		PerRegime: perRegime,
+		Seed:      seed,
+		GLo:       cfg.Goff(),
+		GHi:       cfg.Gon(),
+	}
+}
+
+// feedSamples offers n deterministic samples spanning the conductance
+// window; returns the conductance matrices so tests can check
+// referencing semantics.
+func feedSamples(t *testing.T, r *Reservoir, n int, seed uint64) []*linalg.Dense {
+	t.Helper()
+	cfg := xbar.DefaultConfig()
+	rng := linalg.NewRNG(seed)
+	gs := make([]*linalg.Dense, n)
+	for i := 0; i < n; i++ {
+		g := linalg.NewDense(4, 4)
+		level := rng.Float64()
+		for j := range g.Data {
+			g.Data[j] = cfg.ConductanceFromLevel(level)
+		}
+		gs[i] = g
+		v := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		c := []float64{rng.Norm(), rng.Norm(), rng.Norm(), rng.Norm()}
+		r.Add(v, g, c, rng.Float64())
+	}
+	return gs
+}
+
+// The reservoir must stay within its per-regime quota no matter how
+// many samples arrive, and keep counting arrivals.
+func TestReservoirBounded(t *testing.T) {
+	r, err := NewReservoir(testResConfig(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedSamples(t, r, 500, 11)
+	if held := r.Len(); held > 4*8 {
+		t.Fatalf("reservoir holds %d samples, cap is %d", held, 4*8)
+	}
+	s := r.Stats()
+	if s.Captured != 500 || s.Dropped != 0 {
+		t.Fatalf("stats %+v, want 500 captured, 0 dropped", s)
+	}
+	if s.Held != r.Len() {
+		t.Fatalf("stats.Held %d != Len %d", s.Held, r.Len())
+	}
+}
+
+// A fixed seed and sample sequence must reproduce the reservoir
+// bit-for-bit — the foundation of reproducible tuning rounds.
+func TestReservoirDeterministic(t *testing.T) {
+	a, err := NewReservoir(testResConfig(6, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReservoir(testResConfig(6, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedSamples(t, a, 300, 13)
+	feedSamples(t, b, 300, 13)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if len(sa) == 0 || len(sa) != len(sb) {
+		t.Fatalf("snapshots %d vs %d samples", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].RRMSE != sb[i].RRMSE || len(sa[i].V) != len(sb[i].V) {
+			t.Fatalf("sample %d differs between identical reservoirs", i)
+		}
+		for j := range sa[i].V {
+			if sa[i].V[j] != sb[i].V[j] {
+				t.Fatalf("sample %d voltage %d differs", i, j)
+			}
+		}
+		for j := range sa[i].Circuit {
+			if sa[i].Circuit[j] != sb[i].Circuit[j] {
+				t.Fatalf("sample %d circuit current %d differs", i, j)
+			}
+		}
+	}
+
+	// A different seed must (with overwhelming probability over 300
+	// arrivals into 24 slots) retain a different subset.
+	c, err := NewReservoir(testResConfig(6, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedSamples(t, c, 300, 13)
+	sc := c.Snapshot()
+	same := true
+	for i := range sa {
+		if i >= len(sc) || sa[i].RRMSE != sc[i].RRMSE {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different replacement seeds retained identical subsets")
+	}
+}
+
+// Kept samples must be immune to later replacement: a snapshot taken
+// before more arrivals still holds the original data (fresh buffers
+// per kept sample).
+func TestReservoirSnapshotImmutable(t *testing.T) {
+	r, err := NewReservoir(testResConfig(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedSamples(t, r, 20, 5)
+	snap := r.Snapshot()
+	saved := make([][]float64, len(snap))
+	for i, s := range snap {
+		saved[i] = append([]float64(nil), s.V...)
+	}
+	feedSamples(t, r, 500, 6) // force heavy replacement
+	for i, s := range snap {
+		for j := range s.V {
+			if s.V[j] != saved[i][j] {
+				t.Fatalf("snapshot sample %d mutated by later arrivals", i)
+			}
+		}
+	}
+}
+
+// Add must never block: with the reservoir lock held (a snapshot in
+// progress), samples are dropped and counted.
+func TestReservoirDropsUnderContention(t *testing.T) {
+	r, err := NewReservoir(testResConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := linalg.NewDense(2, 2)
+	r.mu.Lock()
+	kept := r.Add([]float64{1}, g, []float64{1}, 0.1)
+	r.mu.Unlock()
+	if kept {
+		t.Fatal("Add kept a sample while the reservoir was contended")
+	}
+	s := r.Stats()
+	if s.Dropped != 1 || s.Captured != 0 {
+		t.Fatalf("stats %+v, want 1 dropped, 0 captured", s)
+	}
+	// Uncontended, the same sample is kept.
+	if !r.Add([]float64{1}, g, []float64{1}, 0.1) {
+		t.Fatal("uncontended Add did not keep the sample")
+	}
+}
+
+// Validation must reject degenerate configurations.
+func TestReservoirConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]ReservoirConfig{
+		"zero-regimes":   {Regimes: -1, PerRegime: 4, GLo: 0, GHi: 1},
+		"zero-quota":     {Regimes: 2, PerRegime: -5, GLo: 0, GHi: 1},
+		"empty-g-window": {Regimes: 2, PerRegime: 4, GLo: 1, GHi: 1},
+	} {
+		if _, err := NewReservoir(cfg); err == nil {
+			t.Errorf("%s: NewReservoir accepted %+v", name, cfg)
+		}
+	}
+}

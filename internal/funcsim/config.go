@@ -38,6 +38,12 @@ func WithProbeRate(n int) Option { return func(c *Config) { c.ProbeRate = n } }
 // scenario (nil disables; see Config.Scenario).
 func WithScenario(sc *nonideal.Scenario) Option { return func(c *Config) { c.Scenario = sc } }
 
+// WithSwappable enables model hot-swap on the engine: lowered matrices
+// retain their programmed conductances so Engine.SwapModel can rebuild
+// and atomically publish a new analog model under live traffic (see
+// Config.Swappable).
+func WithSwappable() Option { return func(c *Config) { c.Swappable = true } }
+
 // NewConfig builds a validated architecture: the paper's nominal
 // parameters (DefaultConfig) on the given crossbar design point,
 // adjusted by the options, checked once by Validate — including the

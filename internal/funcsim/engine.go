@@ -6,6 +6,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"geniex/internal/core"
 	"geniex/internal/linalg"
@@ -55,6 +57,12 @@ type Config struct {
 	// lowering is bit-reproducible from Scenario.Seed at any worker
 	// count.
 	Scenario *nonideal.Scenario
+	// Swappable enables Engine.SwapModel: lowered matrices retain their
+	// programmed conductances (same retention the probe needs) so a new
+	// analog model can be rebuilt over the identical faulted array and
+	// hot-swapped under live MVM traffic. Off by default — retention
+	// costs one conductance copy per physical crossbar.
+	Swappable bool
 }
 
 // DefaultConfig returns the paper's nominal architecture: 16-bit
@@ -130,14 +138,26 @@ func (c Config) sliceDigits() int { return quant.NumDigits(c.Weight.Bits-1, c.Sl
 // models, and it keeps analog error proportional to the actual signal
 // instead of a full-scale offset.
 type Engine struct {
-	cfg   Config
-	model Model
-	sur   *core.Model // GENIEx surrogate of the model chain, if any
+	cfg    Config
+	retain bool // keep lowered conductances (probe and/or swap support)
 
 	// probe is the online fidelity monitor, nil unless
-	// Config.ProbeRate > 0. matrixIDs numbers lowered matrices so the
-	// probe's per-tile aggregates stay distinct across matrices.
-	probe     *Probe
+	// Config.ProbeRate > 0.
+	probe *Probe
+
+	// mu guards the live-model identity and the lowered-matrix list.
+	// The model and its surrogate are deliberately unexported and only
+	// reachable through accessors: under Config.Swappable a background
+	// calibrator may replace them at any moment, so direct struct reads
+	// would race. version counts published models; the model the engine
+	// was constructed with is version 1, and every successful SwapModel
+	// increments it. matrixIDs numbers lowered matrices so the probe's
+	// per-tile aggregates stay distinct across matrices.
+	mu        sync.Mutex
+	model     Model
+	sur       *core.Model // GENIEx surrogate of the model chain, if any
+	version   int64
+	mats      []*Matrix // swap targets; tracked only when Swappable
 	matrixIDs int
 }
 
@@ -149,7 +169,13 @@ func NewEngine(cfg Config, model Model) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, model: model, sur: surrogateOf(model)}
+	e := &Engine{
+		cfg:     cfg,
+		retain:  cfg.ProbeRate > 0 || cfg.Swappable,
+		model:   model,
+		sur:     surrogateOf(model),
+		version: 1,
+	}
 	if cfg.ProbeRate > 0 {
 		e.probe = newProbe(cfg.Xbar, cfg.ProbeRate, DefaultProbeQueue)
 	}
@@ -159,8 +185,26 @@ func NewEngine(cfg Config, model Model) (*Engine, error) {
 // Config returns the engine's architecture parameters.
 func (e *Engine) Config() Config { return e.cfg }
 
-// ModelName reports which analog model the engine uses.
-func (e *Engine) ModelName() string { return e.model.Name() }
+// ModelName reports which analog model the engine uses. It is safe
+// under concurrent SwapModel calls.
+func (e *Engine) ModelName() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.Name()
+}
+
+// ModelVersion reports the engine's current model version: 1 for the
+// model the engine was constructed with, incremented by every
+// successful SwapModel. It is safe under concurrent SwapModel calls.
+func (e *Engine) ModelVersion() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.version
+}
+
+// Swappable reports whether the engine was configured for model
+// hot-swap (Config.Swappable).
+func (e *Engine) Swappable() bool { return e.cfg.Swappable }
 
 // Probe returns the engine's fidelity probe, or nil when probing is
 // disabled.
@@ -181,24 +225,49 @@ func (e *Engine) Close() {
 type loweredTile struct {
 	pos []Tile
 	neg []Tile // nil when the block is all-non-negative
+}
 
-	// posG/negG retain the per-slice conductance matrices the tiles
-	// were programmed with — only when the engine carries a fidelity
-	// probe, which shadow-solves them. They are immutable after
-	// lowering, so the probe references them without copying.
-	posG []*linalg.Dense
-	negG []*linalg.Dense
+// tileConds retains the per-slice conductance matrices one block's
+// tiles were programmed with — kept when the engine carries a fidelity
+// probe (which shadow-solves them) or is Swappable (a new model is
+// rebuilt from them). The matrices are immutable after lowering and
+// independent of the model version, so probe jobs and calibrators
+// reference them without copying and hot-swaps never invalidate them.
+type tileConds struct {
+	pos []*linalg.Dense
+	neg []*linalg.Dense // nil when the block is all-non-negative
+}
+
+// tileSet is one published model version of a lowered matrix: the
+// model tiles, the surrogate they share voltage contexts with, and an
+// in-flight MVM count. Each MVM pins exactly one tileSet for its whole
+// run (see Matrix.acquireTiles), so tiles and voltage contexts are
+// always version-coherent; SwapModel retires a set only after its
+// in-flight count drains to zero.
+type tileSet struct {
+	version int64
+	model   Model
+	sur     *core.Model
+	tiles   [][]loweredTile // [tileRow][tileCol]
+
+	inflight atomic.Int64
 }
 
 // Matrix is a weight matrix lowered onto crossbar tiles, ready to
 // execute MVMs. A Matrix is safe for concurrent MVM calls; the
 // hardware-event counters are atomic (see Stats).
 type Matrix struct {
-	eng       *Engine
-	in, out   int
-	tileRows  int
-	tileCols  int
-	tiles     [][]loweredTile // [tileRow][tileCol]
+	eng      *Engine
+	in, out  int
+	tileRows int
+	tileCols int
+
+	// tset is the live model version; conds the retained per-block
+	// conductances (nil unless the engine retains them), shared by
+	// every version.
+	tset  atomic.Pointer[tileSet]
+	conds [][]tileConds
+
 	crossbars int
 
 	// Digital back-conversion constants, fixed per design point.
@@ -232,6 +301,8 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 	wmax := float64(int64(1)<<cfg.SliceBits) - 1
 	amax := float64(int64(1)<<cfg.StreamBits) - 1
 
+	e.mu.Lock()
+	model, version := e.model, e.version
 	lm := &Matrix{
 		eng: e, in: in, out: out,
 		tileRows: (in + n - 1) / n,
@@ -240,6 +311,7 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 		id:       e.matrixIDs,
 	}
 	e.matrixIDs++
+	e.mu.Unlock()
 	lm.adc = quant.ADC{
 		Bits:      cfg.ADCBits,
 		FullScale: float64(n) * cfg.Xbar.Vsupply * cfg.Xbar.Gon(),
@@ -249,11 +321,10 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 	// so p = I·scale − kg·Σ dA recovers the integer digit dot product.
 	lm.scale = amax * wmax / (cfg.Xbar.Vsupply * (cfg.Xbar.Gon() - cfg.Xbar.Goff()))
 	lm.kg = cfg.Xbar.Goff() * wmax / (cfg.Xbar.Gon() - cfg.Xbar.Goff())
-	lm.tiles = make([][]loweredTile, lm.tileRows)
-	for tr := range lm.tiles {
-		lm.tiles[tr] = make([]loweredTile, lm.tileCols)
-		for tc := range lm.tiles[tr] {
-			lt := &lm.tiles[tr][tc]
+	conds := make([][]tileConds, lm.tileRows)
+	for tr := range conds {
+		conds[tr] = make([]tileConds, lm.tileCols)
+		for tc := range conds[tr] {
 			posG := make([]*linalg.Dense, kw)
 			negG := make([]*linalg.Dense, kw)
 			for l := 0; l < kw; l++ {
@@ -304,24 +375,27 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 					}
 				}
 			}
-			var err error
-			if lt.pos, err = e.buildTiles(posG); err != nil {
-				return nil, fmt.Errorf("funcsim: lowering tile (%d,%d): %w", tr, tc, err)
-			}
+			cd := &conds[tr][tc]
+			cd.pos = posG
 			lm.crossbars += kw
 			if hasNeg {
-				if lt.neg, err = e.buildTiles(negG); err != nil {
-					return nil, fmt.Errorf("funcsim: lowering tile (%d,%d) neg: %w", tr, tc, err)
-				}
+				cd.neg = negG
 				lm.crossbars += kw
 			}
-			if e.probe != nil {
-				lt.posG = posG
-				if hasNeg {
-					lt.negG = negG
-				}
-			}
 		}
+	}
+	ts, err := buildTileSet(model, version, conds)
+	if err != nil {
+		return nil, err
+	}
+	lm.tset.Store(ts)
+	if e.retain {
+		lm.conds = conds
+	}
+	if e.cfg.Swappable {
+		e.mu.Lock()
+		e.mats = append(e.mats, lm)
+		e.mu.Unlock()
 	}
 	if obs.Enabled() && cfg.Scenario.Enabled() {
 		mDegradedFraction.Set(int64(lm.nonideal.DegradedFraction() * 1e6))
@@ -329,21 +403,116 @@ func (e *Engine) Lower(w *linalg.Dense) (*Matrix, error) {
 	return lm, nil
 }
 
+// buildTileSet programs one model version over a matrix's retained
+// conductances: every per-block, per-slice crossbar is rebuilt through
+// model.NewTile. It is all-or-nothing — any tile error leaves no
+// partially published state.
+func buildTileSet(model Model, version int64, conds [][]tileConds) (*tileSet, error) {
+	ts := &tileSet{version: version, model: model, sur: surrogateOf(model)}
+	ts.tiles = make([][]loweredTile, len(conds))
+	for tr := range conds {
+		ts.tiles[tr] = make([]loweredTile, len(conds[tr]))
+		for tc := range conds[tr] {
+			cd := &conds[tr][tc]
+			lt := &ts.tiles[tr][tc]
+			var err error
+			if lt.pos, err = buildTiles(model, cd.pos); err != nil {
+				return nil, fmt.Errorf("funcsim: lowering tile (%d,%d): %w", tr, tc, err)
+			}
+			if cd.neg != nil {
+				if lt.neg, err = buildTiles(model, cd.neg); err != nil {
+					return nil, fmt.Errorf("funcsim: lowering tile (%d,%d) neg: %w", tr, tc, err)
+				}
+			}
+		}
+	}
+	return ts, nil
+}
+
 // NonIdeal reports what the configured non-ideality scenario did to
 // this matrix's crossbars at lowering time; the zero report means the
 // lowering was clean (no scenario, or an empty stack).
 func (m *Matrix) NonIdeal() nonideal.Report { return m.nonideal }
 
-func (e *Engine) buildTiles(gs []*linalg.Dense) ([]Tile, error) {
+func buildTiles(model Model, gs []*linalg.Dense) ([]Tile, error) {
 	tiles := make([]Tile, len(gs))
 	for l, g := range gs {
-		t, err := e.model.NewTile(g)
+		t, err := model.NewTile(g)
 		if err != nil {
 			return nil, fmt.Errorf("slice %d: %w", l, err)
 		}
 		tiles[l] = t
 	}
 	return tiles, nil
+}
+
+// acquireTiles pins the matrix's live tileSet for one MVM run. The
+// recheck after the in-flight increment closes the race with a
+// concurrent SwapModel: if the set was replaced between load and
+// increment, the increment may have landed on an already-drained set,
+// so release it and retry on the new one. SwapModel's drain therefore
+// never misses an MVM that is about to start on a retired set.
+func (m *Matrix) acquireTiles() *tileSet {
+	for {
+		ts := m.tset.Load()
+		ts.inflight.Add(1)
+		if m.tset.Load() == ts {
+			return ts
+		}
+		ts.inflight.Add(-1)
+	}
+}
+
+// SwapModel atomically replaces the analog model of every matrix
+// lowered from this engine, publishing a new model version: each
+// matrix's retained conductances are re-programmed through the new
+// model (all matrices rebuilt before any is published, so a tile error
+// leaves the engine fully on the old version), the new tile sets are
+// swapped in atomically, and the old version is retired only after its
+// in-flight MVMs drain. MVMs never block on a swap and never observe a
+// mixed version within one call; a multi-layer forward pass that
+// overlaps the swap may evaluate earlier layers on the old version and
+// later ones on the new, each layer internally coherent.
+//
+// The engine must have been built with Config.Swappable. The new model
+// must accept the same tile geometry (its NewTile sees the retained
+// Rows×Cols conductance matrices). Returns the published version.
+func (e *Engine) SwapModel(model Model) (int64, error) {
+	if !e.cfg.Swappable {
+		return 0, fmt.Errorf("funcsim: SwapModel on an engine without Config.Swappable")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	version := e.version + 1
+	fresh := make([]*tileSet, len(e.mats))
+	for i, m := range e.mats {
+		ts, err := buildTileSet(model, version, m.conds)
+		if err != nil {
+			return 0, fmt.Errorf("funcsim: swap to %q: matrix %d: %w", model.Name(), m.id, err)
+		}
+		fresh[i] = ts
+	}
+	start := obs.Now()
+	old := make([]*tileSet, len(e.mats))
+	for i, m := range e.mats {
+		old[i] = m.tset.Swap(fresh[i])
+	}
+	for _, ts := range old {
+		for spins := 0; ts.inflight.Load() > 0; spins++ {
+			if spins < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	e.model, e.sur, e.version = model, surrogateOf(model), version
+	mModelSwaps.Inc()
+	mModelVersion.Set(version)
+	if obs.Enabled() {
+		mSwapDrainLatency.ObserveSince(start)
+	}
+	return version, nil
 }
 
 // In returns the logical input dimension of the lowered matrix.
@@ -398,6 +567,7 @@ type mvmTask struct {
 // runs on a freelist so steady-state MVMs allocate nothing.
 type mvmRun struct {
 	m      *Matrix
+	ts     *tileSet        // the model version pinned for this run
 	ctx    context.Context // nil unless the MVM came in via MVMIntoContext
 	x      *linalg.Dense
 	batch  int
@@ -501,7 +671,7 @@ func (r *mvmRun) doTask(idx int) {
 	rb := &r.blocks[t.tr]
 	rb.mu.Lock()
 	if !rb.done {
-		r.m.quantizeBlockInto(rb, r.x, t.tr)
+		r.m.quantizeBlockInto(rb, r.x, t.tr, r.ts.sur)
 		rb.done = true
 	}
 	rb.mu.Unlock()
@@ -511,20 +681,25 @@ func (r *mvmRun) doTask(idx int) {
 	}
 	t.stats = Stats{}
 	t.probeArm = r.m.probe != nil && r.m.probe.tick()
-	lt := &r.m.tiles[t.tr][t.tc]
-	if err := r.pass(t, lt.pos, lt.posG, &rb.blocks[0], 1); err != nil {
+	lt := &r.ts.tiles[t.tr][t.tc]
+	var posG, negG []*linalg.Dense
+	if r.m.conds != nil {
+		cd := &r.m.conds[t.tr][t.tc]
+		posG, negG = cd.pos, cd.neg
+	}
+	if err := r.pass(t, lt.pos, posG, &rb.blocks[0], 1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.neg, lt.negG, &rb.blocks[0], -1); err != nil {
+	if err := r.pass(t, lt.neg, negG, &rb.blocks[0], -1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.pos, lt.posG, &rb.blocks[1], -1); err != nil {
+	if err := r.pass(t, lt.pos, posG, &rb.blocks[1], -1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.neg, lt.negG, &rb.blocks[1], 1); err != nil {
+	if err := r.pass(t, lt.neg, negG, &rb.blocks[1], 1); err != nil {
 		r.setErr(err)
 		return
 	}
@@ -533,9 +708,9 @@ func (r *mvmRun) doTask(idx int) {
 // pass runs one differential pass (one sign of inputs against one sign
 // of weights) of a tile task: evaluate every weight slice's crossbar,
 // ADC-convert, and shift-and-add into the task's exact partial. gs
-// holds the slices' conductance matrices when the fidelity probe is
-// active (nil otherwise); a probe-armed task offers its first live
-// slice evaluation for shadow-solving.
+// holds the slices' retained conductance matrices when the engine
+// retains them (nil otherwise); a probe-armed task offers its first
+// live slice evaluation for shadow-solving.
 func (r *mvmRun) pass(t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBlock, sign int64) error {
 	if tiles == nil || !blk.any {
 		t.stats.SkippedPasses++
@@ -621,7 +796,11 @@ func (m *Matrix) MVMIntoContext(ctx context.Context, dst, x *linalg.Dense) error
 	cfg := m.eng.cfg
 	r := m.getRun(x)
 	r.ctx = ctx
-	defer m.putRun(r)
+	r.ts = m.acquireTiles()
+	defer func() {
+		r.ts.inflight.Add(-1)
+		m.putRun(r)
+	}()
 
 	if cfg.Workers == 1 || len(r.tasks) == 1 {
 		for i := range r.tasks {
@@ -749,6 +928,7 @@ func (m *Matrix) getRun(x *linalg.Dense) *mvmRun {
 func (m *Matrix) putRun(r *mvmRun) {
 	r.x = nil
 	r.ctx = nil
+	r.ts = nil
 	for i := range r.blocks {
 		for s := range r.blocks[i].blocks {
 			r.blocks[i].blocks[s].vctx = nil
@@ -783,8 +963,10 @@ func growDense(d *linalg.Dense, rows, cols int) *linalg.Dense {
 // positive and negative digit-serial input blocks, reusing the run's
 // buffers. When the model chain has a GENIEx surrogate, the per-block
 // voltage context is built here, once, and shared read-only by every
-// (slice, sign, tileCol) evaluation of the row.
-func (m *Matrix) quantizeBlockInto(rb *runBlock, x *linalg.Dense, tr int) {
+// (slice, sign, tileCol) evaluation of the row. sur is the surrogate
+// of the run's pinned tileSet, so contexts and tiles always belong to
+// the same model version even while a SwapModel is in flight.
+func (m *Matrix) quantizeBlockInto(rb *runBlock, x *linalg.Dense, tr int, sur *core.Model) {
 	cfg := m.eng.cfg
 	n := cfg.Xbar.Rows
 	ka := cfg.streamDigits()
@@ -828,10 +1010,10 @@ func (m *Matrix) quantizeBlockInto(rb *runBlock, x *linalg.Dense, tr int) {
 			}
 		}
 	}
-	if m.eng.sur != nil {
+	if sur != nil {
 		for s := range rb.blocks {
 			if blk := &rb.blocks[s]; blk.any {
-				blk.vctx = m.eng.sur.NewVContext(blk.vb)
+				blk.vctx = sur.NewVContext(blk.vb)
 			}
 		}
 	}

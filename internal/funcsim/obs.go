@@ -18,6 +18,15 @@ var (
 	// carry at least one stuck cell after the last lowering, in parts
 	// per million (the obs registry stores integers; divide by 1e6).
 	mDegradedFraction = obs.NewGauge("funcsim.tile.degraded_fraction")
+	// Model hot-swap metrics: swaps counts successful SwapModel calls
+	// process-wide, version mirrors the last published model version,
+	// and the drain histogram times publish-to-retire (how long old
+	// versions' in-flight MVMs took to finish). The swap counter and
+	// version gauge always record — operators diagnosing a calibration
+	// loop need them even with obs sampling disabled.
+	mModelSwaps       = obs.NewCounter("funcsim.model.swaps")
+	mModelVersion     = obs.NewGauge("funcsim.model.version")
+	mSwapDrainLatency = obs.NewHistogram("funcsim.model.swap_drain_seconds", obs.LatencyBuckets)
 	mLayerLatency     = obs.NewHistogram("funcsim.forward.layer_seconds", obs.LatencyBuckets)
 	mForwardLatency   = obs.NewHistogram("funcsim.forward.latency_seconds", obs.LatencyBuckets)
 

@@ -104,6 +104,38 @@ func TestMVMDeterministicAcrossWorkersCircuit(t *testing.T) {
 	checkDeterministic(t, cfg, Circuit{Cfg: cfg.Xbar}, w, x)
 }
 
+// Intra-batch concurrency inside a circuit tile solve must be
+// bit-identical at every BatchWorkers setting — serial, bounded, and
+// all-cores — including nested under the tile-task fan-out. Each batch
+// item is solved independently and merged by index, so the fan-out
+// width can only change scheduling, never results. This is the
+// invariant that lets funcsim-run's -batch-workers heuristic pick any
+// value on correctness-neutral grounds (cost is the only criterion).
+func TestMVMCircuitBatchWorkersBitIdentical(t *testing.T) {
+	if raceDetectorEnabled && testing.Short() {
+		t.Skip("circuit solves under -race -short")
+	}
+	cfg := exactConfig(8, 8)
+	w, x := testWorkload(64, 12, 10, 3) // 2×2 tile grid
+	cfg.Xbar.BatchWorkers = 1
+	ref, refStats := mvmAt(t, cfg, Circuit{Cfg: cfg.Xbar}, w, x, 1, 1)
+	for _, bw := range []int{0, 2} {
+		for _, workers := range []int{1, 0} {
+			cfg.Xbar.BatchWorkers = bw
+			got, gotStats := mvmAt(t, cfg, Circuit{Cfg: cfg.Xbar}, w, x, runtime.NumCPU(), workers)
+			for i := range ref.Data {
+				if got.Data[i] != ref.Data[i] {
+					t.Fatalf("batch-workers=%d tile-workers=%d: output[%d] = %v, serial = %v — batch fan-out is not bit-identical",
+						bw, workers, i, got.Data[i], ref.Data[i])
+				}
+			}
+			if gotStats != refStats {
+				t.Errorf("batch-workers=%d tile-workers=%d: stats %+v != serial %+v", bw, workers, gotStats, refStats)
+			}
+		}
+	}
+}
+
 // The fastcircuit tier (warm-started pooled solves) must agree with
 // the full circuit model to solver tolerance, and — with serial batch
 // solves, where each tile's calls stay on its own task in a fixed

@@ -96,8 +96,39 @@ type Probe struct {
 	tiles        map[probeTileKey]*probeTileAgg
 
 	// solveHook, when non-nil, replaces the circuit shadow-solve; the
-	// tests use it to stall the worker deterministically.
-	solveHook func(*probeJob)
+	// tests use it to stall the worker deterministically. Stored
+	// atomically so tests can install and remove it while the worker
+	// runs (setSolveHook).
+	solveHook atomic.Pointer[func(*probeJob)]
+
+	// tap, when set, receives every successful shadow-solve (see
+	// SetTap). Stored atomically so SetTap is safe while the worker
+	// runs.
+	tap atomic.Pointer[ProbeTap]
+}
+
+// ProbeTap observes one successful shadow-solve: the sampled drive
+// voltages, the tile's programmed conductances, the circuit-solved
+// output currents, and the model-vs-circuit relative RMSE. The tap
+// runs on the probe's worker goroutine between solves — it must be
+// fast and must not block. v and circuit are reused buffers owned by
+// the probe: a tap that retains them must copy. g is immutable after
+// lowering and survives model hot-swaps, so referencing it is safe.
+//
+// This is the calibration feed: every tap invocation is exactly one
+// GENIEx training pair (V, G) → I_circuit, labelled by the same
+// solver that labels offline datasets.
+type ProbeTap func(v []float64, g *linalg.Dense, circuit []float64, rrmse float64)
+
+// SetTap installs (or, with nil, removes) the probe's shadow-solve
+// tap. Safe to call concurrently with a running probe; the new tap
+// takes effect at the next solve.
+func (p *Probe) SetTap(t ProbeTap) {
+	if t == nil {
+		p.tap.Store(nil)
+		return
+	}
+	p.tap.Store(&t)
 }
 
 // probeJob carries one sampled tile evaluation to the worker. The
@@ -242,9 +273,19 @@ func (p *Probe) loop() {
 	}
 }
 
+// setSolveHook installs (or, with nil, removes) the test-only solve
+// replacement; takes effect at the worker's next job.
+func (p *Probe) setSolveHook(h func(*probeJob)) {
+	if h == nil {
+		p.solveHook.Store(nil)
+		return
+	}
+	p.solveHook.Store(&h)
+}
+
 func (p *Probe) solveJob(xb **xbar.Crossbar, j *probeJob) {
-	if p.solveHook != nil {
-		p.solveHook(j)
+	if h := p.solveHook.Load(); h != nil {
+		(*h)(j)
 		return
 	}
 	start := obs.Now()
@@ -279,6 +320,9 @@ func (p *Probe) solveJob(xb **xbar.Crossbar, j *probeJob) {
 	ObserveDivergence(rr)
 	ObserveNF(nf)
 	p.fold(j, rr, nf)
+	if t := p.tap.Load(); t != nil {
+		(*t)(j.v, j.g, sol.Currents, rr)
+	}
 }
 
 // fold merges one solved probe into the EWMA / baseline / drift state

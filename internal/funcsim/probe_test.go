@@ -86,7 +86,7 @@ func TestProbeDropsNeverBlocks(t *testing.T) {
 	eng, mat, x := probedEngine(t, 1)
 	p := eng.Probe()
 	release := make(chan struct{})
-	p.solveHook = func(*probeJob) { <-release }
+	p.setSolveHook(func(*probeJob) { <-release })
 	defer close(release)
 
 	ref, err := mat.MVM(x)
@@ -125,7 +125,7 @@ func TestProbedMVMIntoSteadyStateAllocs(t *testing.T) {
 	eng, mat, x := probedEngine(t, 1)
 	p := eng.Probe()
 	release := make(chan struct{})
-	p.solveHook = func(*probeJob) { <-release }
+	p.setSolveHook(func(*probeJob) { <-release })
 	defer close(release)
 
 	dst := linalg.NewDense(x.Rows, mat.Out())

@@ -46,13 +46,13 @@ func lowerWithScenario(t *testing.T, sc *nonideal.Scenario, m Model, workers int
 // of the lowering, in deterministic tile order.
 func conductancesOf(lm *Matrix) []float64 {
 	var out []float64
-	for tr := range lm.tiles {
-		for tc := range lm.tiles[tr] {
-			lt := &lm.tiles[tr][tc]
-			for _, g := range lt.posG {
+	for tr := range lm.conds {
+		for tc := range lm.conds[tr] {
+			cd := &lm.conds[tr][tc]
+			for _, g := range cd.pos {
 				out = append(out, g.Data...)
 			}
-			for _, g := range lt.negG {
+			for _, g := range cd.neg {
 				out = append(out, g.Data...)
 			}
 		}

@@ -1,0 +1,43 @@
+package nn
+
+import "geniex/internal/linalg"
+
+// Incremental is the online-training entry point: one network, one
+// optimizer, stepped a minibatch at a time by a caller that owns the
+// training loop (the background GENIEx calibrator streams probe
+// samples through it). Unlike the epoch-driven training loops in this
+// repo, Incremental holds no dataset — every Step is a complete
+// zero-grad → forward → MSE → backward → update cycle on the batch it
+// is handed, so optimizer state (Adam moments) persists across an
+// unbounded stream of batches.
+//
+// Incremental is not safe for concurrent Step calls; the intended
+// owner is a single background goroutine.
+type Incremental struct {
+	net    *Sequential
+	params []*Param
+	opt    Optimizer
+}
+
+// NewIncremental wraps a network and an optimizer over that network's
+// parameters. The optimizer must have been constructed over
+// net.Params() (or a superset including them).
+func NewIncremental(net *Sequential, opt Optimizer) *Incremental {
+	return &Incremental{net: net, params: net.Params(), opt: opt}
+}
+
+// Step runs one minibatch update — zero gradients, forward in
+// training mode, MSE against y, backward, optimizer step — and
+// returns the batch's pre-update MSE loss.
+func (inc *Incremental) Step(x, y *linalg.Dense) float64 {
+	ZeroGrad(inc.params)
+	pred := inc.net.Forward(x, true)
+	loss, grad := MSE(pred, y)
+	inc.net.Backward(grad)
+	inc.opt.Step()
+	return loss
+}
+
+// SetLR forwards to the optimizer, for callers running a schedule
+// over the stream.
+func (inc *Incremental) SetLR(lr float64) { inc.opt.SetLR(lr) }

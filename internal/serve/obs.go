@@ -32,10 +32,11 @@ var (
 	mShedError    = obs.NewCounter("serve.shed.error")
 	mShed         = obs.NewCounter("serve.shed")
 
-	mRetry        = obs.NewCounter("serve.retry")
-	mBreakerTrips = obs.NewCounter("serve.breaker.trips")
-	mChaosFaults  = obs.NewCounter("serve.chaos.faults")
-	mChaosStalls  = obs.NewCounter("serve.chaos.stalls")
+	mRetry          = obs.NewCounter("serve.retry")
+	mVersionRegress = obs.NewCounter("serve.tier.version_regressions")
+	mBreakerTrips   = obs.NewCounter("serve.breaker.trips")
+	mChaosFaults    = obs.NewCounter("serve.chaos.faults")
+	mChaosStalls    = obs.NewCounter("serve.chaos.stalls")
 
 	mQueueDepth = obs.NewGauge("serve.queue_depth")
 	mInFlight   = obs.NewGauge("serve.inflight")

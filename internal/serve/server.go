@@ -48,6 +48,15 @@ type Tier struct {
 	// intended source); the ladder then sheds past it. Ignored on the
 	// floor tier.
 	Distrust func() bool
+	// Version, when non-nil, reports the tier's current model version
+	// (funcsim.Engine.ModelVersion is the intended source for tiers
+	// whose model is hot-swapped by a background calibrator). Served
+	// responses carry it as tier_version, and the ladder asserts
+	// monotonicity: a version lower than one it already served from
+	// this tier increments serve.tier.version_regressions — versions
+	// are immutable and only ever replaced by newer ones, so a
+	// regression means a swap published stale state.
+	Version func() int64
 }
 
 // Config parameterizes the server. The zero value of each field gets
@@ -122,6 +131,9 @@ type Server struct {
 	queued   atomic.Int64  // admitted but not yet executing, all tenants
 	breakers []*Breaker
 	tierLat  []*obs.Histogram
+	// maxVersion tracks the highest model version each tier has
+	// served, backing the ladder's version-monotonicity assertion.
+	maxVersion []atomic.Int64
 
 	tmu     sync.Mutex
 	tenants map[string]*tenantQueue
@@ -158,12 +170,13 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		breakers: make([]*Breaker, len(cfg.Tiers)),
-		tierLat:  make([]*obs.Histogram, len(cfg.Tiers)),
-		tenants:  map[string]*tenantQueue{},
-		rng:      linalg.NewRNG(cfg.Seed),
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		breakers:   make([]*Breaker, len(cfg.Tiers)),
+		tierLat:    make([]*obs.Histogram, len(cfg.Tiers)),
+		maxVersion: make([]atomic.Int64, len(cfg.Tiers)),
+		tenants:    map[string]*tenantQueue{},
+		rng:        linalg.NewRNG(cfg.Seed),
 	}
 	for i, t := range cfg.Tiers {
 		s.breakers[i] = NewBreaker(cfg.BreakerTrip, cfg.BreakerCooldown)
@@ -206,6 +219,9 @@ type InferResponse struct {
 	Retries       int         `json:"retries"`
 	Outputs       [][]float64 `json:"outputs"`
 	ElapsedMS     float64     `json:"elapsed_ms"`
+	// TierVersion is the serving tier's model version at execution
+	// time (present when the tier reports one — see Tier.Version).
+	TierVersion int64 `json:"tier_version,omitempty"`
 }
 
 // ErrorResponse is the typed non-200 body (429, 504, 503, 400).
@@ -357,6 +373,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			Retries:       retries,
 			Outputs:       rowsOf(y),
 			ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
+			TierVersion:   s.tierVersion(tier),
 		})
 	case canceled(err):
 		mTimeout.Inc()
@@ -364,6 +381,31 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	default:
 		mExhausted.Inc()
 		writeRetryable(w, http.StatusServiceUnavailable, err.Error(), s.retryAfterHint())
+	}
+}
+
+// tierVersion samples tier i's model version (0 when the tier does
+// not report one) and enforces the ladder's monotonicity assertion:
+// once a version has been observed from a tier, any lower reading is
+// a regression (a hot-swap published stale state) and is counted. The
+// reading may legitimately be one ahead of the version that actually
+// served the request — a swap can land between execution and this
+// sample — which only ever moves the observed maximum forward.
+func (s *Server) tierVersion(i int) int64 {
+	vf := s.cfg.Tiers[i].Version
+	if vf == nil {
+		return 0
+	}
+	v := vf()
+	for {
+		seen := s.maxVersion[i].Load()
+		if v < seen {
+			mVersionRegress.Inc()
+			return v
+		}
+		if v == seen || s.maxVersion[i].CompareAndSwap(seen, v) {
+			return v
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -569,5 +570,62 @@ func TestConcurrentBurstTypedOutcomes(t *testing.T) {
 			t.Fatalf("goroutines leaked after burst: %d vs baseline %d", runtime.NumGoroutine(), baseline)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Tier versions in responses must be monotonic per tier: the ladder
+// reports each response's model version, and a reading below the
+// tier's observed maximum — a hot-swap publishing stale state — is
+// counted as a regression. Tiers without a Version hook report 0 and
+// never count.
+func TestTierVersionMonotonic(t *testing.T) {
+	var version atomic.Int64
+	version.Store(5)
+	s, err := NewServer(Config{
+		Tiers: []Tier{{Name: "adaptive", Runner: RunnerFunc(doubler), Version: version.Load}},
+		In:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regress := obs.NewCounter("serve.tier.version_regressions")
+	r0 := regress.Load()
+
+	w, resp, _ := postInfer(t, s, inferReq(1))
+	if w.Code != http.StatusOK || resp.TierVersion != 5 {
+		t.Fatalf("status %d tier_version %d, want 200/5", w.Code, resp.TierVersion)
+	}
+	version.Store(7)
+	if _, resp, _ = postInfer(t, s, inferReq(1)); resp.TierVersion != 7 {
+		t.Fatalf("tier_version %d after advance, want 7", resp.TierVersion)
+	}
+	if got := regress.Load(); got != r0 {
+		t.Fatalf("monotonic versions counted %d regressions", got-r0)
+	}
+
+	// A reading below the observed maximum is a regression: served, but
+	// counted.
+	version.Store(6)
+	if _, resp, _ = postInfer(t, s, inferReq(1)); resp.TierVersion != 6 {
+		t.Fatalf("tier_version %d after regression, want 6", resp.TierVersion)
+	}
+	if got := regress.Load(); got != r0+1 {
+		t.Fatalf("version regression counted %d times, want 1", got-r0)
+	}
+
+	// Versionless tiers omit the field entirely.
+	s2, err := NewServer(Config{
+		Tiers: []Tier{{Name: "plain", Runner: RunnerFunc(doubler)}},
+		In:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, resp, _ = postInfer(t, s2, inferReq(1))
+	if w.Code != http.StatusOK || resp.TierVersion != 0 {
+		t.Fatalf("versionless tier: status %d tier_version %d", w.Code, resp.TierVersion)
+	}
+	if bytes.Contains(w.Body.Bytes(), []byte("tier_version")) {
+		t.Errorf("versionless tier serialized tier_version: %s", w.Body.String())
 	}
 }

@@ -293,24 +293,24 @@ func (r *runner) runCell(c Cell) (Result, error) {
 		return Result{}, err
 	}
 
-	var model funcsim.Model
-	switch c.Model {
-	case ModelIdeal:
-		model = funcsim.Ideal{}
-	case ModelAnalytical:
-		model = funcsim.Analytical{Cfg: xcfg}
-	case ModelCircuit:
-		model = funcsim.Circuit{Cfg: xcfg, Degraded: true}
-	case ModelFastCircuit:
-		model = funcsim.FastCircuit{Cfg: xcfg, Degraded: true}
-	case ModelGENIEx:
+	spec, err := funcsim.ModelByName(c.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	// Degraded circuit handling: a fault-ridden cell that defeats even
+	// solver recovery still completes with zeroed currents, so one
+	// pathological cell cannot wedge the sweep.
+	params := funcsim.ModelParams{Xbar: xcfg, Degraded: true}
+	if spec.NeedsSurrogate {
 		sur, err := r.surrogateFor(xcfg)
 		if err != nil {
 			return Result{}, err
 		}
-		model = funcsim.GENIEx{Model: sur}
-	default:
-		return Result{}, fmt.Errorf("unknown model %q", c.Model)
+		params.Surrogate = sur
+	}
+	model, err := spec.New(params)
+	if err != nil {
+		return Result{}, err
 	}
 	eng, err := funcsim.NewEngine(cfg, model)
 	if err != nil {

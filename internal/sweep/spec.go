@@ -18,10 +18,13 @@ import (
 	"regexp"
 	"strings"
 
+	"geniex/internal/funcsim"
 	"geniex/internal/nonideal"
 )
 
-// Model names a cell can select; see runCell for what each executes.
+// Convenience aliases for the registered fidelity-tier names
+// (funcsim.RegisterModel is the source of truth; a cell may select any
+// registered tier, these are just the built-ins specs commonly list).
 const (
 	ModelIdeal       = "ideal"
 	ModelAnalytical  = "analytical"
@@ -114,10 +117,8 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for _, m := range s.Models {
-		switch m {
-		case ModelIdeal, ModelAnalytical, ModelGENIEx, ModelCircuit, ModelFastCircuit:
-		default:
-			return fmt.Errorf("sweep: unknown model %q", m)
+		if _, err := funcsim.ModelByName(m); err != nil {
+			return fmt.Errorf("sweep: %w", err)
 		}
 	}
 	if s.Time < 0 {
