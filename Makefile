@@ -10,9 +10,9 @@ GO ?= go
 # instrumentation.
 RACE_PKGS = ./internal/xbar ./internal/funcsim ./internal/hwtrain ./internal/linalg ./internal/obs ./internal/serve
 
-.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke sweep-smoke calib-smoke tier-registry-gate
+.PHONY: check fmt vet build test race bench obs-smoke trace-smoke serve-smoke sweep-smoke calib-smoke load-smoke tier-registry-gate obs-catalog-gate
 
-check: fmt vet build test race obs-smoke trace-smoke serve-smoke sweep-smoke calib-smoke tier-registry-gate
+check: fmt vet build test race obs-smoke trace-smoke serve-smoke sweep-smoke calib-smoke load-smoke tier-registry-gate obs-catalog-gate
 
 # gofmt cleanliness gate: fails listing the offending files.
 fmt:
@@ -36,7 +36,7 @@ race:
 # the circuit cold/seeded/warm start comparison. benchjson tees the
 # table to stdout and writes $(BENCH_OUT); override BENCH_OUT to keep
 # older trajectory files.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMVM' -benchmem . \
@@ -75,6 +75,21 @@ sweep-smoke:
 # must end >= 2x lower, with >= 1 hot-swap and zero failed MVMs.
 calib-smoke:
 	$(GO) run ./scripts/calibsmoke
+
+# End-to-end per-tenant observability gate: geniex-serve with a
+# circuit-backed ladder and an armed latency SLO under loadgen
+# traffic; the served per-tenant histograms must agree with loadgen's
+# client-side view, the Prometheus exposition must carry the
+# per-tenant series and SLO burn-rate gauges, and /trace must export
+# a parented span tree from a circuit solve up to a per-tenant
+# serve.request root.
+load-smoke:
+	$(GO) run ./scripts/loadsmoke
+
+# Every registered obs metric name must appear in the DESIGN.md §13
+# catalog, so the catalog cannot silently rot.
+obs-catalog-gate:
+	$(GO) run ./scripts/obscatalog
 
 # The model registry is the single source of truth for fidelity-tier
 # names: no Go file may switch on tier-name strings (funcsim-run,

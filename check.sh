@@ -21,6 +21,8 @@ go run ./scripts/tracecheck trace_smoke.json
 go run ./scripts/servesmoke
 go run ./scripts/sweepsmoke
 go run ./scripts/calibsmoke
+go run ./scripts/loadsmoke
+go run ./scripts/obscatalog
 # Tier names resolve only through the funcsim model registry: no Go
 # file may switch on tier-name strings.
 if grep -rn --include='*.go' -E 'case "(ideal|analytical|geniex|geniex-adaptive|circuit|fastcircuit)"' .; then

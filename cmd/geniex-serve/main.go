@@ -11,7 +11,8 @@
 //	curl -s localhost:8080/v1/infer -d '{"inputs":[[0.1, ...]]}'
 //
 // Endpoints: POST /v1/infer, GET /healthz, GET /metrics (obs
-// snapshot), GET /debug/pprof/ with -pprof.
+// snapshot; ?format=prom for Prometheus exposition), GET /trace
+// (Chrome trace-event JSON), GET /debug/pprof/ with -pprof.
 package main
 
 import (
@@ -83,9 +84,16 @@ func run() error {
 		// solver and shed the faithful tier when divergence drifts.
 		probeRate  = flag.Int("probe-rate", 0, "sample 1 in n tile MVMs through the fidelity probe (0 disables)")
 		driftLimit = flag.Float64("drift-limit", 0, "probe drift above which the probed tier is distrusted (0 disables)")
-		sloRRMSE   = flag.Float64("slo-rrmse", 0, "fidelity SLO: probe rRMSE EWMA above which a probed tier is distrusted and (with -calibrate) recalibration triggers (0 disables)")
-		calibrate  = flag.Bool("calibrate", false, "adaptive tiers: fine-tune the surrogate in the background on probe shadow-solves and hot-swap improved versions into live traffic (needs -probe-rate)")
-		canaryN    = flag.Int("calibrate-canary", 16, "adaptive tiers: while distrusted, let 1 in n requests through anyway so the probe keeps sampling and calibration can both train and observe recovery (0 starves the loop)")
+		sloRRMSE   = flag.Float64("slo-rrmse", 0, "fidelity SLO: probe rRMSE above which a sample is out of objective; distrust and (with -calibrate) recalibration key off the windowed burn rate (0 disables)")
+		sloFidObj  = flag.Float64("slo-fidelity-objective", 0.9, "fidelity SLO: target fraction of probe samples with rRMSE under -slo-rrmse; burn rate >= 1 distrusts the tier")
+		sloWindow  = flag.Duration("slo-window", time.Minute, "sliding window for the SLO burn-rate trackers")
+
+		// Latency SLO: arms the serve.latency burn-rate tracker (obs
+		// snapshot / Prometheus exposition / alerting).
+		sloLatTarget = flag.Duration("slo-latency-target", 0, "latency SLO: a request is good when served within this target (0 disables the serve.latency tracker)")
+		sloLatObj    = flag.Float64("slo-latency-objective", 0.99, "latency SLO: target fraction of requests served within -slo-latency-target")
+		calibrate    = flag.Bool("calibrate", false, "adaptive tiers: fine-tune the surrogate in the background on probe shadow-solves and hot-swap improved versions into live traffic (needs -probe-rate)")
+		canaryN      = flag.Int("calibrate-canary", 16, "adaptive tiers: while distrusted, let 1 in n requests through anyway so the probe keeps sampling and calibration can both train and observe recovery (0 starves the loop)")
 
 		// Chaos layer (tests and smoke): see serve.ChaosPolicy.
 		chaosLatency  = flag.Duration("chaos-latency", 0, "chaos: latency injected into tier execution")
@@ -154,6 +162,11 @@ func run() error {
 		ladder   []serve.Tier
 		prevRank int
 		sharedGX *core.Model // surrogate trained once, shared by every tier that needs it
+		// fidSLO is the shared fidelity burn-rate tracker; every probed
+		// tier's samples feed it (good = rRMSE within -slo-rrmse), and
+		// both the distrust gate and the calibration trigger key off
+		// its burn rate rather than raw point gauges.
+		fidSLO *obs.SLO
 	)
 	for i, name := range tierNames {
 		name = strings.TrimSpace(name)
@@ -221,11 +234,24 @@ func run() error {
 		if i < len(tierNames)-1 {
 			tier.ShedAt = *shedAt
 		}
-		if p := eng.Probe(); p != nil && (*driftLimit > 0 || *sloRRMSE > 0) {
-			limit, slo := *driftLimit, *sloRRMSE
+		if p := eng.Probe(); p != nil && *sloRRMSE > 0 {
+			// Feed the shared fidelity SLO: each probe shadow-solve is
+			// one observation, good when its rRMSE met -slo-rrmse. The
+			// hook is separate from the calibrator's sample tap, so
+			// both consumers see every sample.
+			if fidSLO == nil {
+				fidSLO = obs.NewSLO("funcsim.probe.fidelity", obs.SLOConfig{
+					Objective: *sloFidObj, Window: *sloWindow,
+				})
+			}
+			slo, thr := fidSLO, *sloRRMSE
+			p.OnSample(func(rr float64) { slo.Observe(rr <= thr) })
+		}
+		if p := eng.Probe(); p != nil && (*driftLimit > 0 || fidSLO != nil) {
+			limit, slo := *driftLimit, fidSLO
 			// A distrusted tier serves no traffic, so its probe stops
 			// sampling — which would starve the calibrator of training
-			// data AND freeze the very gauges that could clear the
+			// data AND freeze the very signals that could clear the
 			// distrust. While calibrating, canary 1 in n requests
 			// through the gate to keep the loop live.
 			canary := &atomic.Uint64{}
@@ -236,7 +262,7 @@ func run() error {
 			tier.Distrust = func() bool {
 				st := p.Stats()
 				out := (limit > 0 && st.BaselineRecorded && st.Drift > limit) ||
-					(slo > 0 && st.RRMSEEWMA > slo)
+					(slo != nil && slo.BurnRate() >= 1)
 				if out && canaryEvery > 0 && canary.Add(1)%canaryEvery == 0 {
 					return false
 				}
@@ -247,7 +273,7 @@ func run() error {
 			if p := eng.Probe(); p == nil {
 				return fmt.Errorf("tier %q: -calibrate needs -probe-rate > 0 (the calibrator trains on probe shadow-solves)", name)
 			} else {
-				cal, err := calib.New(calib.Config{
+				calCfg := calib.Config{
 					Model: sharedGX,
 					Probe: p,
 					Swap: func(m *core.Model) (int64, error) {
@@ -256,7 +282,22 @@ func run() error {
 					SLO:            *sloRRMSE,
 					DriftThreshold: *driftLimit,
 					Seed:           *seed + 100,
-				})
+				}
+				if fidSLO != nil {
+					// Burn-rate trigger: a tuning round is warranted when
+					// the fidelity error budget is burning unsustainably,
+					// or on raw drift past -drift-limit. Replaces the
+					// built-in point-gauge checks.
+					slo, limit := fidSLO, *driftLimit
+					calCfg.Trigger = func() bool {
+						if slo.BurnRate() >= 1 {
+							return true
+						}
+						st := p.Stats()
+						return limit > 0 && st.BaselineRecorded && st.Drift > limit
+					}
+				}
+				cal, err := calib.New(calCfg)
 				if err != nil {
 					return err
 				}
@@ -279,8 +320,11 @@ func run() error {
 		RetryMax:    *retryMax,
 		Backoff:     serve.Backoff{Base: *boBase, Cap: *boCap, Factor: *boFactor, Jitter: *boJitter},
 		BreakerTrip: *brkTrip, BreakerCooldown: *brkCooldown,
-		Chaos: chaos,
-		Seed:  *seed,
+		Chaos:            chaos,
+		Seed:             *seed,
+		LatencyTarget:    *sloLatTarget,
+		LatencyObjective: *sloLatObj,
+		LatencySLOWindow: *sloWindow,
 	})
 	if err != nil {
 		return err
@@ -290,6 +334,7 @@ func run() error {
 	mux.Handle("/v1/infer", srv)
 	mux.Handle("/healthz", srv)
 	mux.Handle("/metrics", obs.Handler())
+	mux.Handle("/trace", obs.Default().TraceHandler())
 	if *withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -44,6 +44,13 @@ type Config struct {
 	// check passes and rounds are bounded only by MinSamples and the
 	// duty cycle.
 	DriftThreshold float64
+	// Trigger, when non-nil, replaces the built-in gauge checks (SLO /
+	// DriftThreshold) entirely: a tuning round is warranted exactly
+	// when it returns true. geniex-serve wires an obs.SLO burn-rate
+	// closure here, so recalibration keys off a windowed error budget
+	// rather than a raw point gauge. Called on the calibrator's worker
+	// goroutine; must be fast and non-blocking.
+	Trigger func() bool
 	// MinSamples is the fewest reservoir samples a round trains on.
 	// Default 32.
 	MinSamples int
@@ -225,10 +232,14 @@ func (c *Calibrator) shouldRound() bool {
 	return true
 }
 
-// triggered consults the probe's EWMA/drift gauges. Recalibration is
-// deliberately gauge-driven, not timer-driven: a healthy model is
+// triggered consults the Trigger override when one is installed,
+// otherwise the probe's EWMA/drift gauges. Recalibration is
+// deliberately signal-driven, not timer-driven: a healthy model is
 // never retrained, no matter how long it runs.
 func (c *Calibrator) triggered() bool {
+	if c.cfg.Trigger != nil {
+		return c.cfg.Trigger()
+	}
 	if c.cfg.Probe == nil || (c.cfg.SLO == 0 && c.cfg.DriftThreshold == 0) {
 		return true
 	}

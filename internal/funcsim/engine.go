@@ -667,6 +667,15 @@ func (r *mvmRun) doTask(idx int) {
 	}
 	start := obs.Now()
 	defer mTileLatency.ObserveSince(start)
+	// Tile spans are traced-request-only: the TraceContext check keeps
+	// the untraced steady state (benchmarks, training) free of the
+	// context allocation StartSpan would add.
+	ctx := r.ctx
+	if obs.TraceFromContext(ctx).Valid() {
+		var tspan obs.Span
+		ctx, tspan = obs.StartSpan(ctx, "funcsim.tile")
+		defer tspan.End()
+	}
 	t := &r.tasks[idx]
 	rb := &r.blocks[t.tr]
 	rb.mu.Lock()
@@ -687,19 +696,19 @@ func (r *mvmRun) doTask(idx int) {
 		cd := &r.m.conds[t.tr][t.tc]
 		posG, negG = cd.pos, cd.neg
 	}
-	if err := r.pass(t, lt.pos, posG, &rb.blocks[0], 1); err != nil {
+	if err := r.pass(ctx, t, lt.pos, posG, &rb.blocks[0], 1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.neg, negG, &rb.blocks[0], -1); err != nil {
+	if err := r.pass(ctx, t, lt.neg, negG, &rb.blocks[0], -1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.pos, posG, &rb.blocks[1], -1); err != nil {
+	if err := r.pass(ctx, t, lt.pos, posG, &rb.blocks[1], -1); err != nil {
 		r.setErr(err)
 		return
 	}
-	if err := r.pass(t, lt.neg, negG, &rb.blocks[1], 1); err != nil {
+	if err := r.pass(ctx, t, lt.neg, negG, &rb.blocks[1], 1); err != nil {
 		r.setErr(err)
 		return
 	}
@@ -711,7 +720,7 @@ func (r *mvmRun) doTask(idx int) {
 // holds the slices' retained conductance matrices when the engine
 // retains them (nil otherwise); a probe-armed task offers its first
 // live slice evaluation for shadow-solving.
-func (r *mvmRun) pass(t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBlock, sign int64) error {
+func (r *mvmRun) pass(ctx context.Context, t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBlock, sign int64) error {
 	if tiles == nil || !blk.any {
 		t.stats.SkippedPasses++
 		return nil
@@ -721,7 +730,7 @@ func (r *mvmRun) pass(t *mvmTask, tiles []Tile, gs []*linalg.Dense, blk *inputBl
 	mcols := cfg.Xbar.Cols
 	ka := cfg.streamDigits()
 	for l, tile := range tiles {
-		if err := currentsInto(r.ctx, tile, t.curr, blk.vb, blk.vctx); err != nil {
+		if err := currentsInto(ctx, tile, t.curr, blk.vb, blk.vctx); err != nil {
 			return fmt.Errorf("funcsim: tile (%d,%d) slice %d: %w", t.tr, t.tc, l, err)
 		}
 		if t.probeArm && gs != nil {
@@ -793,6 +802,14 @@ func (m *Matrix) MVMIntoContext(ctx context.Context, dst, x *linalg.Dense) error
 	mvmStart := obs.Now()
 	region := obs.StartRegion("funcsim.mvm")
 	defer region.End()
+	// Traced requests get a "funcsim.mvm" span parenting the per-tile
+	// spans; untraced callers (nil or plain contexts — the benchmarked
+	// steady state) skip straight past, preserving 0 allocs/op.
+	if obs.TraceFromContext(ctx).Valid() {
+		var span obs.Span
+		ctx, span = obs.StartSpan(ctx, "funcsim.mvm")
+		defer span.End()
+	}
 	cfg := m.eng.cfg
 	r := m.getRun(x)
 	r.ctx = ctx

@@ -25,7 +25,7 @@ type Sim struct {
 }
 
 type simLayer interface {
-	forward(ctx context.Context, x *linalg.Dense, tid int64) (*linalg.Dense, error)
+	forward(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error)
 	describe() string
 }
 
@@ -177,44 +177,53 @@ func (s *Sim) lowerLinear(l *nn.Linear, bn *nn.BatchNorm) (*simLinear, error) {
 // whole-pass timings land in the funcsim.forward.* histograms, and each
 // layer emits a trace span named at lowering time (residual bodies are
 // Sims themselves, so their layers and pass time are recorded too).
-// Every call allocates one trace ID and records all of its spans —
-// including those of nested residual bodies — under it, so a trace
-// export (obs.WriteTrace) groups the spans of one inference together.
+// Every call opens a "funcsim.forward" span (allocating a fresh trace
+// ID, since no context carries one here) with the per-layer spans as
+// its children, so a trace export (obs.WriteTrace) shows one inference
+// as one parented tree.
 func (s *Sim) Forward(x *linalg.Dense) (*linalg.Dense, error) {
-	return s.forwardTID(nil, x, obs.NextTraceID())
+	return s.forwardCtx(nil, x)
 }
 
-// ForwardContext is Forward with cooperative cancellation: the context
-// is checked between layers and threaded down through MVMIntoContext
-// into the circuit batch solver, so a revoked deadline stops analog
-// work mid-solve rather than after the pass completes. A nil ctx is
-// identical to Forward.
+// ForwardContext is Forward with cooperative cancellation and trace
+// propagation: the context is checked between layers and threaded down
+// through MVMIntoContext into the circuit batch solver, so a revoked
+// deadline stops analog work mid-solve rather than after the pass
+// completes, and a TraceContext on ctx (injected by a request edge
+// such as serve.Server) parents the whole pass under the caller's
+// span. A nil ctx is identical to Forward.
 func (s *Sim) ForwardContext(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
-	return s.forwardTID(ctx, x, obs.NextTraceID())
+	return s.forwardCtx(ctx, x)
 }
 
-// forwardTID is Forward under an explicit trace ID; residual bodies
-// reuse their parent pass's ID.
-func (s *Sim) forwardTID(ctx context.Context, x *linalg.Dense, tid int64) (*linalg.Dense, error) {
+// forwardCtx runs the pass under ctx's trace; residual bodies pass
+// their layer's context, so their spans nest under the residual layer.
+func (s *Sim) forwardCtx(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
 	start := obs.Now()
+	ctx, span := obs.StartSpan(ctx, "funcsim.forward")
+	// End via defer (and after the child below): spans must close on
+	// error and cancellation paths too, or their already-recorded
+	// children dangle parentless in trace exports.
+	defer span.End()
 	var err error
 	for i, l := range s.layers {
-		if ctx != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("funcsim: forward cancelled at layer %d: %w", i, cerr)
-			}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("funcsim: forward cancelled at layer %d: %w", i, cerr)
 		}
 		layerStart := obs.Now()
-		if x, err = l.forward(ctx, x, tid); err != nil {
+		lctx := ctx
+		var lspan obs.Span
+		if i < len(s.spanNames) {
+			lctx, lspan = obs.StartSpan(ctx, s.spanNames[i])
+		}
+		x, err = l.forward(lctx, x)
+		lspan.End()
+		if err != nil {
 			return nil, err
 		}
 		mLayerLatency.ObserveSince(layerStart)
-		if i < len(s.spanNames) {
-			obs.RecordSpanTID(s.spanNames[i], layerStart, tid)
-		}
 	}
 	mForwardLatency.ObserveSince(start)
-	obs.RecordSpanTID("funcsim.forward", start, tid)
 	return x, nil
 }
 
@@ -235,7 +244,7 @@ type simConv struct {
 	bias []float64
 }
 
-func (c *simConv) forward(ctx context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (c *simConv) forward(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
 	batch := x.Rows
 	cols := nn.Im2Col(x, c.geom) // (b·oh·ow)×patch
 	prod, err := c.mat.MVMContext(ctx, cols)
@@ -269,7 +278,7 @@ type simLinear struct {
 	bias []float64
 }
 
-func (l *simLinear) forward(ctx context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (l *simLinear) forward(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
 	y, err := l.mat.MVMContext(ctx, x)
 	if err != nil {
 		return nil, err
@@ -293,7 +302,7 @@ type simDigital struct {
 	layer nn.Layer
 }
 
-func (d *simDigital) forward(_ context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (d *simDigital) forward(_ context.Context, x *linalg.Dense) (*linalg.Dense, error) {
 	return d.layer.Forward(x, false), nil
 }
 
@@ -306,7 +315,7 @@ type simAffine struct {
 	scale, shift []float64
 }
 
-func (a *simAffine) forward(_ context.Context, x *linalg.Dense, _ int64) (*linalg.Dense, error) {
+func (a *simAffine) forward(_ context.Context, x *linalg.Dense) (*linalg.Dense, error) {
 	y := linalg.NewDense(x.Rows, x.Cols)
 	for b := 0; b < x.Rows; b++ {
 		in, out := x.Row(b), y.Row(b)
@@ -327,8 +336,8 @@ type simResidual struct {
 	body *Sim
 }
 
-func (r *simResidual) forward(ctx context.Context, x *linalg.Dense, tid int64) (*linalg.Dense, error) {
-	y, err := r.body.forwardTID(ctx, x, tid)
+func (r *simResidual) forward(ctx context.Context, x *linalg.Dense) (*linalg.Dense, error) {
+	y, err := r.body.forwardCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}

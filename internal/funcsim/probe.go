@@ -105,6 +105,13 @@ type Probe struct {
 	// SetTap). Stored atomically so SetTap is safe while the worker
 	// runs.
 	tap atomic.Pointer[ProbeTap]
+
+	// onSample, when set, receives every successful shadow-solve's
+	// rRMSE (see OnSample). It is a separate, lighter hook than the
+	// tap: the tap is the calibration feed (single consumer, claimed
+	// by the calibrator), while onSample exists for fidelity SLO
+	// accounting and can coexist with any tap.
+	onSample atomic.Pointer[func(rrmse float64)]
 }
 
 // ProbeTap observes one successful shadow-solve: the sampled drive
@@ -129,6 +136,21 @@ func (p *Probe) SetTap(t ProbeTap) {
 		return
 	}
 	p.tap.Store(&t)
+}
+
+// OnSample installs (or, with nil, removes) a per-sample rRMSE
+// listener, called on the probe's worker goroutine after every
+// successful shadow-solve — the feed for windowed fidelity SLO
+// tracking (obs.SLO). Unlike the single calibration tap, OnSample is
+// independent of SetTap, so an SLO tracker and a calibrator can
+// observe the same probe. The listener must be fast and must not
+// block.
+func (p *Probe) OnSample(f func(rrmse float64)) {
+	if f == nil {
+		p.onSample.Store(nil)
+		return
+	}
+	p.onSample.Store(&f)
 }
 
 // probeJob carries one sampled tile evaluation to the worker. The
@@ -320,6 +342,9 @@ func (p *Probe) solveJob(xb **xbar.Crossbar, j *probeJob) {
 	ObserveDivergence(rr)
 	ObserveNF(nf)
 	p.fold(j, rr, nf)
+	if f := p.onSample.Load(); f != nil {
+		(*f)(rr)
+	}
 	if t := p.tap.Load(); t != nil {
 		(*t)(j.v, j.g, sol.Currents, rr)
 	}

@@ -8,17 +8,22 @@ import (
 
 // Handler returns an http.Handler that serves the registry snapshot.
 // Every path returns the JSON form ("?format=text" switches to the
-// sorted text lines), so it works both as a standalone endpoint and
+// sorted text lines, "?format=prom" to the Prometheus text exposition
+// — see WriteProm), so it works both as a standalone endpoint and
 // mounted under a path like /metrics.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Query().Get("format") == "text" {
+		switch req.URL.Query().Get("format") {
+		case "text":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_ = r.WriteText(w)
-			return
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WriteProm(w)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = r.WriteJSON(w)
 	})
 }
 

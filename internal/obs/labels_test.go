@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// With must intern one child per label-value combination and return
+// the identical handle on every resolution, and the snapshot must
+// flatten children under rendered name{k="v"} series keys.
+func TestVecWithInternsChildren(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("vec.requests", "tenant", "outcome")
+	a := cv.With("acme", "ok")
+	if b := cv.With("acme", "ok"); b != a {
+		t.Error("same label values resolved to different children")
+	}
+	if b := cv.With("acme", "error"); b == a {
+		t.Error("distinct label values resolved to the same child")
+	}
+	a.Add(3)
+	cv.With("acme", "error").Inc()
+
+	s := r.Snapshot()
+	if got := s.Counters[`vec.requests{tenant="acme",outcome="ok"}`]; got != 3 {
+		t.Errorf("ok series = %d, want 3", got)
+	}
+	if got := s.Counters[`vec.requests{tenant="acme",outcome="error"}`]; got != 1 {
+		t.Errorf("error series = %d, want 1", got)
+	}
+	if got, want := cv.Name(), "vec.requests"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+	if got := cv.Keys(); len(got) != 2 || got[0] != "tenant" || got[1] != "outcome" {
+		t.Errorf("Keys() = %v", got)
+	}
+}
+
+// Label values are caller-controlled strings; the flattened series
+// name must escape them like Prometheus label values so the snapshot
+// key (and the text exposition) stays parseable.
+func TestVecLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("vec.esc", "who")
+	gv.With(`a"b\c` + "\n").Set(7)
+	s := r.Snapshot()
+	want := `vec.esc{who="a\"b\\c\n"}`
+	if got := s.Gauges[want]; got != 7 {
+		t.Errorf("escaped series missing: snapshot gauges = %v", s.Gauges)
+	}
+}
+
+func TestVecWithArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("vec.arity", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label-value count: expected panic")
+		}
+	}()
+	cv.With("only-one")
+}
+
+// Past maxSeries distinct combinations, every novel resolution must
+// share one overflow child (all values OverflowLabel) and bump the
+// registry's obs.labels.dropped counter once per redirected With.
+func TestVecCardinalityOverflow(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("vec.capped", "tenant")
+	cv.v.maxSeries = 2
+	cv.With("a").Inc()
+	cv.With("b").Inc()
+
+	ov := cv.With("c")
+	if ov2 := cv.With("d"); ov2 != ov {
+		t.Error("overflow resolutions returned different children")
+	}
+	// Overflow combinations are never interned, so re-resolving "c"
+	// counts as dropped again.
+	if ov3 := cv.With("c"); ov3 != ov {
+		t.Error("repeat overflow resolution returned a different child")
+	}
+	ov.Add(3)
+
+	s := r.Snapshot()
+	if got := s.Counters[`vec.capped{tenant="_overflow"}`]; got != 3 {
+		t.Errorf("overflow series = %d, want 3", got)
+	}
+	if got := s.Counters[labelsDroppedName]; got != 3 {
+		t.Errorf("%s = %d, want 3 (one per redirected With)", labelsDroppedName, got)
+	}
+	// Interned children resolve without touching the dropped counter.
+	cv.With("a").Inc()
+	if got := r.Snapshot().Counters[labelsDroppedName]; got != 3 {
+		t.Errorf("interned resolution bumped dropped counter to %d", got)
+	}
+}
+
+// Concurrent With and observe — including resolutions past the
+// cardinality cap — must lose no observations (run under -race as
+// part of the race gate).
+func TestVecConcurrentWithAndObserve(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("vec.conc", "tenant")
+	cv.v.maxSeries = 4
+	hv := r.HistogramVec("vec.conc.lat", []float64{1, 2, 4}, "tenant")
+	hv.v.maxSeries = 4
+
+	const goroutines, perG, tenants = 16, 1000, 8
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				tenant := fmt.Sprintf("t%d", (id+j)%tenants)
+				cv.With(tenant).Inc()
+				hv.With(tenant).Observe(float64(j % 5))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	var counted int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "vec.conc{") {
+			counted += v
+		}
+	}
+	if want := int64(goroutines * perG); counted != want {
+		t.Errorf("counter observations across children = %d, want %d", counted, want)
+	}
+	var observed int64
+	for name, h := range s.Histograms {
+		if strings.HasPrefix(name, "vec.conc.lat{") {
+			observed += h.Count
+		}
+	}
+	if want := int64(goroutines * perG); observed != want {
+		t.Errorf("histogram observations across children = %d, want %d", observed, want)
+	}
+	// Half the tenants exceeded the cap, so the dropped counter must
+	// have registered redirections; the exact count depends on race
+	// order of interning, but the overflow series must exist.
+	if s.Counters[labelsDroppedName] == 0 {
+		t.Error("no drops recorded despite tenants exceeding the cap")
+	}
+	if _, ok := s.Counters[`vec.conc{tenant="_overflow"}`]; !ok {
+		t.Error("overflow counter series missing from snapshot")
+	}
+}
+
+// Pre-resolved vec children are ordinary metrics: observing through a
+// kept handle must not allocate, preserving the hot-path contract.
+func TestVecChildOpsDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("vec.alloc.c", "tenant").With("acme")
+	g := r.GaugeVec("vec.alloc.g", "tenant").With("acme")
+	h := r.HistogramVec("vec.alloc.h", LatencyBuckets, "tenant").With("acme")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(1e-4)
+	})
+	if allocs != 0 {
+		t.Errorf("child metric ops allocate %.1f objects per run, want 0", allocs)
+	}
+}
+
+// Every child of a HistogramVec shares the registered bucket layout.
+func TestHistogramVecSharedBounds(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.5, 1, 2}
+	hv := r.HistogramVec("vec.bounds", bounds, "tier")
+	hv.With("ideal").Observe(0.7)
+	hv.With("circuit").Observe(3)
+	if got := hv.Bounds(); len(got) != 3 || got[0] != 0.5 || got[2] != 2 {
+		t.Errorf("Bounds() = %v, want %v", got, bounds)
+	}
+	s := r.Snapshot()
+	for _, name := range []string{`vec.bounds{tier="ideal"}`, `vec.bounds{tier="circuit"}`} {
+		hs, ok := s.Histograms[name]
+		if !ok {
+			t.Fatalf("series %s missing", name)
+		}
+		if len(hs.Bounds) != 3 || hs.Bounds[1] != 1 {
+			t.Errorf("%s bounds = %v, want %v", name, hs.Bounds, bounds)
+		}
+	}
+}

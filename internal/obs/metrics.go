@@ -57,6 +57,11 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomicFloat
+	// exemplars holds, per bucket, the trace ID of the most recent
+	// observation recorded with ObserveExemplar — linking e.g. a
+	// slow-request latency bucket to the request's span tree in the
+	// trace export. 0 means no exemplar.
+	exemplars []atomic.Int64
 }
 
 // newHistogram builds a histogram with the given upper bounds. bounds
@@ -72,21 +77,46 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Int64, len(b)+1),
+	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(x float64) {
-	// Linear scan: bucket lists are short (≤ ~16) and typical
-	// observations land in the first few buckets, where a scan beats a
-	// binary search.
+// bucketOf returns the index of the bucket x lands in. Linear scan:
+// bucket lists are short (≤ ~16) and typical observations land in the
+// first few buckets, where a scan beats a binary search.
+func (h *Histogram) bucketOf(x float64) int {
 	i := 0
 	for i < len(h.bounds) && x > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	i := h.bucketOf(x)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.add(x)
+}
+
+// ObserveExemplar is Observe plus an exemplar: the trace ID (from a
+// request's TraceContext) is stored as the bucket's most recent
+// exemplar, so exported snapshots can link a latency bucket — in
+// particular the slow tail — to a concrete request's span tree. A
+// zero trace records no exemplar. Same cost contract as Observe: a
+// few atomics, no allocation.
+func (h *Histogram) ObserveExemplar(x float64, trace int64) {
+	i := h.bucketOf(x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(x)
+	if trace != 0 {
+		h.exemplars[i].Store(trace)
+	}
 }
 
 // ObserveSince records the seconds elapsed since start (from Now). A
@@ -131,6 +161,19 @@ func (h *Histogram) snapshot(clear bool) HistogramSnapshot {
 		}
 		s.Count = h.count.Load()
 		s.Sum = h.sum.load()
+	}
+	var any bool
+	ex := make([]int64, len(h.exemplars))
+	for i := range h.exemplars {
+		if clear {
+			ex[i] = h.exemplars[i].Swap(0)
+		} else {
+			ex[i] = h.exemplars[i].Load()
+		}
+		any = any || ex[i] != 0
+	}
+	if any {
+		s.Exemplars = ex
 	}
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)

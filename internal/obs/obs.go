@@ -118,6 +118,26 @@ func NewHistogram(name string, bounds []float64) *Histogram {
 	return std.Histogram(name, bounds)
 }
 
+// NewCounterVec returns (creating if needed) the named counter vec of
+// the Default registry, keyed by the given label keys. Resolve
+// children once with With and keep the handles, exactly like scalar
+// metrics.
+func NewCounterVec(name string, keys ...string) *CounterVec {
+	return std.CounterVec(name, keys...)
+}
+
+// NewGaugeVec returns (creating if needed) the named gauge vec of the
+// Default registry.
+func NewGaugeVec(name string, keys ...string) *GaugeVec {
+	return std.GaugeVec(name, keys...)
+}
+
+// NewHistogramVec returns (creating if needed) the named histogram
+// vec of the Default registry; every child shares the bucket bounds.
+func NewHistogramVec(name string, bounds []float64, keys ...string) *HistogramVec {
+	return std.HistogramVec(name, bounds, keys...)
+}
+
 // RecordSpan records a completed span into the Default registry's
 // trace ring. start should come from Now; a zero start (instrumentation
 // disabled at span start) is skipped.
@@ -153,6 +173,10 @@ func WriteJSON(w io.Writer) error { return std.WriteJSON(w) }
 // WriteText writes the Default registry's snapshot as sorted
 // name-value text lines.
 func WriteText(w io.Writer) error { return std.WriteText(w) }
+
+// WriteProm writes the Default registry's snapshot in the Prometheus
+// text exposition format.
+func WriteProm(w io.Writer) error { return std.WriteProm(w) }
 
 // WriteTrace exports the Default registry's span ring as Chrome
 // trace-event JSON and returns the number of events written.

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSanitize maps a dotted metric name onto the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune (dots,
+// dashes) becomes an underscore, and a leading digit gains one.
+func promSanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else if r >= '0' && r <= '9' { // leading digit
+			b.WriteByte('_')
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitSeries splits a flattened snapshot key (name or name{labels})
+// into its base name and the inner label text (without braces).
+func splitSeries(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], strings.TrimSuffix(key[i+1:], "}")
+	}
+	return key, ""
+}
+
+// withLabels renders name{labels} (or bare name when labels is empty).
+func withLabels(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// addLabel appends one k="v" pair to an inner label text.
+func addLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabelValue(v) + `"`
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily is one metric family: every series of one sanitized name
+// under one TYPE declaration.
+type promFamily struct {
+	name string
+	kind string // counter | gauge | histogram
+	rows []promRow
+}
+
+// promRow is one series of a family, pre-rendered except for the
+// family name prefix. For histograms the row fans out into
+// _bucket/_sum/_count lines.
+type promRow struct {
+	labels string
+	value  string            // counter/gauge
+	hist   HistogramSnapshot // histogram (when kind == "histogram")
+}
+
+// WriteProm writes the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` line per family,
+// dotted names sanitized to underscores, vec label sets preserved,
+// histograms expanded into cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`, and SLO trackers exported as
+// obs_slo_{error_rate,burn_rate,...}{slo="name"} series. Output is
+// deterministically ordered (families by name, series by label text),
+// so identical registry state yields identical bytes.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	fams := map[string]*promFamily{}
+	add := func(key, kind, value string, hist HistogramSnapshot) {
+		base, labels := splitSeries(key)
+		name := promSanitize(base)
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, kind: kind}
+			fams[name] = f
+		}
+		f.rows = append(f.rows, promRow{labels: labels, value: value, hist: hist})
+	}
+	for key, v := range s.Counters {
+		add(key, "counter", strconv.FormatInt(v, 10), HistogramSnapshot{})
+	}
+	for key, v := range s.Gauges {
+		add(key, "gauge", strconv.FormatInt(v, 10), HistogramSnapshot{})
+	}
+	for key, h := range s.Histograms {
+		add(key, "histogram", "", h)
+	}
+	for name, o := range s.SLOs {
+		labels := addLabel("", "slo", name)
+		slo := func(metric, value string) {
+			add(withLabels("obs.slo."+metric, labels), "gauge", value, HistogramSnapshot{})
+		}
+		slo("objective", promFloat(o.Objective))
+		slo("error_rate", promFloat(o.ErrorRate))
+		slo("burn_rate", promFloat(o.BurnRate))
+		slo("window_good", strconv.FormatInt(o.WindowGood, 10))
+		slo("window_bad", strconv.FormatInt(o.WindowBad, 10))
+		add(withLabels("obs.slo.good_total", labels), "counter", strconv.FormatInt(o.TotalGood, 10), HistogramSnapshot{})
+		add(withLabels("obs.slo.bad_total", labels), "counter", strconv.FormatInt(o.TotalBad, 10), HistogramSnapshot{})
+	}
+	add("obs.spans_dropped_total", "counter", strconv.FormatInt(s.SpansDropped, 10), HistogramSnapshot{})
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.rows, func(i, j int) bool { return f.rows[i].labels < f.rows[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, row := range f.rows {
+			if f.kind != "histogram" {
+				if _, err := fmt.Fprintf(w, "%s %s\n", withLabels(f.name, row.labels), row.value); err != nil {
+					return err
+				}
+				continue
+			}
+			var cum int64
+			for i, bound := range row.hist.Bounds {
+				cum += row.hist.Counts[i]
+				line := withLabels(f.name+"_bucket", addLabel(row.labels, "le", promFloat(bound)))
+				if _, err := fmt.Fprintf(w, "%s %d\n", line, cum); err != nil {
+					return err
+				}
+			}
+			cum = row.hist.Count
+			line := withLabels(f.name+"_bucket", addLabel(row.labels, "le", "+Inf"))
+			if _, err := fmt.Fprintf(w, "%s %d\n", line, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", withLabels(f.name+"_sum", row.labels), promFloat(row.hist.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLabels(f.name+"_count", row.labels), row.hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -2,12 +2,24 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrDuplicateName is wrapped by every Try* registration method when a
+// metric name is already registered as a different kind (counter vs
+// gauge vs histogram vs vec vs SLO) or with a different shape
+// (histogram bounds, vec label keys). Re-registering the same name
+// with the same kind and shape is NOT an error: it idempotently
+// returns the existing instance, so hot-swapped components and tests
+// can re-register safely. The panicking registration methods
+// (Counter, Histogram, CounterVec, ...) panic with this error's
+// message in the conflict cases.
+var ErrDuplicateName = errors.New("obs: duplicate metric name")
 
 // Registry holds named metrics and the span-event trace ring. Metric
 // registration (Counter/Gauge/Histogram) is get-or-create and takes a
@@ -27,7 +39,14 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
-	trace      eventRing
+	// kinds maps every registered name to its metric kind, backing the
+	// cross-kind duplicate-name check (see ErrDuplicateName).
+	kinds         map[string]string
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
+	slos          map[string]*SLO
+	trace         eventRing
 }
 
 // NewRegistry creates an empty registry. Most code uses Default;
@@ -35,11 +54,16 @@ type Registry struct {
 func NewRegistry() *Registry {
 	now := time.Now()
 	return &Registry{
-		epoch:      now,
-		epochNano:  now.UnixNano(),
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		epoch:         now,
+		epochNano:     now.UnixNano(),
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		histograms:    map[string]*Histogram{},
+		kinds:         map[string]string{},
+		counterVecs:   map[string]*CounterVec{},
+		gaugeVecs:     map[string]*GaugeVec{},
+		histogramVecs: map[string]*HistogramVec{},
+		slos:          map[string]*SLO{},
 	}
 }
 
@@ -47,54 +71,253 @@ func NewRegistry() *Registry {
 // every span timestamp and trace export is anchored to.
 func (r *Registry) Epoch() time.Time { return r.epoch }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// claimLocked records name under kind, failing with ErrDuplicateName
+// if the name is already held by a different kind. Callers hold r.mu.
+func (r *Registry) claimLocked(name, kind string) error {
+	if k, ok := r.kinds[name]; ok && k != kind {
+		return fmt.Errorf("%w: %q already registered as %s, requested %s",
+			ErrDuplicateName, name, k, kind)
+	}
+	r.kinds[name] = kind
+	return nil
+}
+
+// counterLocked is the get-or-create body of TryCounter for callers
+// already holding r.mu (vec registration creates the shared
+// obs.labels.dropped counter under the registry lock).
+func (r *Registry) counterLocked(name string) (*Counter, error) {
+	if err := r.claimLocked(name, "counter"); err != nil {
+		return nil, err
+	}
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
 	}
+	return c, nil
+}
+
+// TryCounter returns the named counter, creating it on first use.
+// Re-registering the same name as a counter returns the same instance
+// (idempotent); a name held by another metric kind returns an error
+// wrapping ErrDuplicateName.
+func (r *Registry) TryCounter(name string) (*Counter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counterLocked(name)
+}
+
+// Counter returns the named counter, creating it on first use. It
+// panics if the name is held by a different metric kind; use
+// TryCounter to handle that as an error.
+func (r *Registry) Counter(name string) *Counter {
+	c, err := r.TryCounter(name)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+// TryGauge returns the named gauge, creating it on first use, with
+// the same idempotency and ErrDuplicateName contract as TryCounter.
+func (r *Registry) TryGauge(name string) (*Gauge, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.claimLocked(name, "gauge"); err != nil {
+		return nil, err
+	}
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
+	return g, nil
+}
+
+// Gauge returns the named gauge, creating it on first use. It panics
+// if the name is held by a different metric kind.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, err := r.TryGauge(name)
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
 
-// Histogram returns the named histogram, creating it with the given
-// bucket bounds on first use. Re-registering an existing name returns
-// the existing histogram; the bounds must match (same length and
-// values) or Histogram panics — two call sites silently feeding
+// TryHistogram returns the named histogram, creating it with the
+// given bucket bounds on first use. Re-registering an existing name
+// with identical bounds returns the existing histogram (idempotent);
+// mismatched bounds or a name held by another kind return an error
+// wrapping ErrDuplicateName — two call sites silently feeding
 // differently-shaped buckets would corrupt the distribution.
-func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+func (r *Registry) TryHistogram(name string, bounds []float64) (*Histogram, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.claimLocked(name, "histogram"); err != nil {
+		return nil, err
+	}
 	h, ok := r.histograms[name]
 	if !ok {
 		h = newHistogram(bounds)
 		r.histograms[name] = h
-		return h
+		return h, nil
 	}
-	if len(h.bounds) != len(bounds) {
-		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, have %d",
-			name, len(bounds), len(h.bounds)))
+	if err := sameBounds(name, h.bounds, bounds); err != nil {
+		return nil, err
 	}
-	for i := range bounds {
-		if h.bounds[i] != bounds[i] {
-			panic(fmt.Sprintf("obs: histogram %q re-registered with different bound[%d]", name, i))
-		}
+	return h, nil
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. It panics on a bounds mismatch or a
+// cross-kind name conflict; use TryHistogram to handle those as
+// errors.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h, err := r.TryHistogram(name, bounds)
+	if err != nil {
+		panic(err)
 	}
 	return h
+}
+
+func sameBounds(name string, have, want []float64) error {
+	if len(have) != len(want) {
+		return fmt.Errorf("%w: histogram %q re-registered with %d bounds, have %d",
+			ErrDuplicateName, name, len(want), len(have))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return fmt.Errorf("%w: histogram %q re-registered with different bound[%d]",
+				ErrDuplicateName, name, i)
+		}
+	}
+	return nil
+}
+
+// TryCounterVec returns the named counter vec with the given label
+// keys, creating it on first use. Identical re-registration is
+// idempotent; mismatched keys or a cross-kind name conflict return an
+// error wrapping ErrDuplicateName.
+func (r *Registry) TryCounterVec(name string, keys ...string) (*CounterVec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.claimLocked(name, "counter_vec"); err != nil {
+		return nil, err
+	}
+	if cv, ok := r.counterVecs[name]; ok {
+		if err := sameKeys(name, cv.v.keys, keys); err != nil {
+			return nil, err
+		}
+		return cv, nil
+	}
+	dropped, err := r.counterLocked(labelsDroppedName)
+	if err != nil {
+		return nil, err
+	}
+	cv := &CounterVec{v: newVec(name, keys, dropped, func() *Counter { return &Counter{} })}
+	r.counterVecs[name] = cv
+	return cv, nil
+}
+
+// CounterVec returns the named counter vec, creating it on first use;
+// it panics where TryCounterVec returns an error.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	cv, err := r.TryCounterVec(name, keys...)
+	if err != nil {
+		panic(err)
+	}
+	return cv
+}
+
+// TryGaugeVec returns the named gauge vec with the given label keys,
+// creating it on first use, under the TryCounterVec contract.
+func (r *Registry) TryGaugeVec(name string, keys ...string) (*GaugeVec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.claimLocked(name, "gauge_vec"); err != nil {
+		return nil, err
+	}
+	if gv, ok := r.gaugeVecs[name]; ok {
+		if err := sameKeys(name, gv.v.keys, keys); err != nil {
+			return nil, err
+		}
+		return gv, nil
+	}
+	dropped, err := r.counterLocked(labelsDroppedName)
+	if err != nil {
+		return nil, err
+	}
+	gv := &GaugeVec{v: newVec(name, keys, dropped, func() *Gauge { return &Gauge{} })}
+	r.gaugeVecs[name] = gv
+	return gv, nil
+}
+
+// GaugeVec returns the named gauge vec, creating it on first use; it
+// panics where TryGaugeVec returns an error.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	gv, err := r.TryGaugeVec(name, keys...)
+	if err != nil {
+		panic(err)
+	}
+	return gv
+}
+
+// TryHistogramVec returns the named histogram vec (every child shares
+// the bucket bounds), creating it on first use. Identical
+// re-registration is idempotent; mismatched keys or bounds, or a
+// cross-kind name conflict, return an error wrapping
+// ErrDuplicateName.
+func (r *Registry) TryHistogramVec(name string, bounds []float64, keys ...string) (*HistogramVec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.claimLocked(name, "histogram_vec"); err != nil {
+		return nil, err
+	}
+	if hv, ok := r.histogramVecs[name]; ok {
+		if err := sameKeys(name, hv.v.keys, keys); err != nil {
+			return nil, err
+		}
+		if err := sameBounds(name, hv.bounds, bounds); err != nil {
+			return nil, err
+		}
+		return hv, nil
+	}
+	dropped, err := r.counterLocked(labelsDroppedName)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	hv := &HistogramVec{
+		v:      newVec(name, keys, dropped, func() *Histogram { return newHistogram(b) }),
+		bounds: b,
+	}
+	r.histogramVecs[name] = hv
+	return hv, nil
+}
+
+// HistogramVec returns the named histogram vec, creating it on first
+// use; it panics where TryHistogramVec returns an error.
+func (r *Registry) HistogramVec(name string, bounds []float64, keys ...string) *HistogramVec {
+	hv, err := r.TryHistogramVec(name, bounds, keys...)
+	if err != nil {
+		panic(err)
+	}
+	return hv
+}
+
+func sameKeys(name string, have, want []string) error {
+	if len(have) != len(want) {
+		return fmt.Errorf("%w: vec %q re-registered with %d label keys, have %d",
+			ErrDuplicateName, name, len(want), len(have))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return fmt.Errorf("%w: vec %q re-registered with label key %q at %d, have %q",
+				ErrDuplicateName, name, want[i], i, have[i])
+		}
+	}
+	return nil
 }
 
 // HistogramSnapshot is the exported state of one histogram. Counts has
@@ -107,9 +330,14 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
-	P50    float64   `json:"p50"`
-	P95    float64   `json:"p95"`
-	P99    float64   `json:"p99"`
+	// Exemplars, when present, holds per-bucket trace IDs of the most
+	// recent ObserveExemplar observation — a link from a bucket (e.g.
+	// the slow latency tail) into the span ring's trace export.
+	// Omitted when no bucket has an exemplar.
+	Exemplars []int64 `json:"exemplar_trace_ids,omitempty"`
+	P50       float64 `json:"p50"`
+	P95       float64 `json:"p95"`
+	P99       float64 `json:"p99"`
 }
 
 // Mean returns Sum/Count, or 0 when empty.
@@ -171,10 +399,17 @@ type SnapshotData struct {
 	// EpochUnixNano is the registry's creation wall time; span Start
 	// values are epoch-anchored (see Event), so Start−EpochUnixNano is
 	// the span's offset into the run.
-	EpochUnixNano int64                        `json:"epoch_unix_nano"`
-	Counters      map[string]int64             `json:"counters"`
-	Gauges        map[string]int64             `json:"gauges"`
-	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	EpochUnixNano int64 `json:"epoch_unix_nano"`
+	// Counters, Gauges and Histograms hold both the flat scalar metrics
+	// (plain dotted names) and every vec child, flattened under rendered
+	// series names of the form name{k1="v1",k2="v2"} (label keys in
+	// registration order, values Prometheus-escaped) — so JSON and text
+	// consumers see labeled series without a schema change.
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// SLOs holds the windowed burn-rate trackers by name.
+	SLOs map[string]SLOSnapshot `json:"slos,omitempty"`
 	// Spans lists the retained trace events, oldest first.
 	Spans []Event `json:"spans,omitempty"`
 	// SpansDropped counts span events that fell off the ring.
@@ -218,6 +453,21 @@ func (r *Registry) capture(clear bool) SnapshotData {
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.snapshot(clear)
 	}
+	for _, cv := range r.counterVecs {
+		cv.capture(s.Counters, clear)
+	}
+	for _, gv := range r.gaugeVecs {
+		gv.capture(s.Gauges, clear)
+	}
+	for _, hv := range r.histogramVecs {
+		hv.capture(s.Histograms, clear)
+	}
+	if len(r.slos) > 0 {
+		s.SLOs = make(map[string]SLOSnapshot, len(r.slos))
+		for name, slo := range r.slos {
+			s.SLOs[name] = slo.capture(clear)
+		}
+	}
 	s.Spans, s.SpansDropped = r.trace.snapshot(clear)
 	return s
 }
@@ -230,7 +480,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText writes the registry snapshot as sorted "name value" lines,
-// histograms as "name count=N sum=S mean=M p50=... p95=... p99=...".
+// histograms as "name count=N sum=S mean=M p50=... p95=... p99=...",
+// SLO trackers as "slo.<name> ..." summary lines, plus an
+// unconditional "obs.spans_dropped N" line surfacing how many span
+// events fell off the trace ring.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	var lines []string
@@ -244,6 +497,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s count=%d sum=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g",
 			name, h.Count, h.Sum, h.Mean(), h.P50, h.P95, h.P99))
 	}
+	for name, o := range s.SLOs {
+		lines = append(lines, fmt.Sprintf("slo.%s objective=%.6g window_good=%d window_bad=%d error_rate=%.6g burn_rate=%.6g",
+			name, o.Objective, o.WindowGood, o.WindowBad, o.ErrorRate, o.BurnRate))
+	}
+	lines = append(lines, fmt.Sprintf("obs.spans_dropped %d", s.SpansDropped))
 	sort.Strings(lines)
 	for _, l := range lines {
 		if _, err := fmt.Fprintln(w, l); err != nil {

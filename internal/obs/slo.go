@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLOConfig configures a windowed error-budget tracker.
+type SLOConfig struct {
+	// Objective is the target good fraction in (0, 1) — e.g. 0.99 means
+	// "99% of observations must be good", leaving a 1% error budget.
+	Objective float64
+	// Window is the sliding window the burn rate is computed over.
+	// Defaults to 60s.
+	Window time.Duration
+	// Buckets is the number of time buckets the window is divided into;
+	// more buckets means a smoother slide. Defaults to 30.
+	Buckets int
+	// Clock overrides the time source (tests). Defaults to time.Now.
+	Clock func() time.Time
+}
+
+// SLOSnapshot is the exported state of one SLO tracker.
+type SLOSnapshot struct {
+	Objective     float64 `json:"objective"`
+	WindowSeconds float64 `json:"window_seconds"`
+	// WindowGood/WindowBad count observations inside the current
+	// sliding window.
+	WindowGood int64 `json:"window_good"`
+	WindowBad  int64 `json:"window_bad"`
+	// ErrorRate is WindowBad / (WindowGood + WindowBad); 0 when the
+	// window is empty.
+	ErrorRate float64 `json:"error_rate"`
+	// BurnRate is ErrorRate divided by the error budget (1 −
+	// Objective): 1.0 means the budget is being consumed exactly at the
+	// sustainable rate, >1 means the objective will be violated if the
+	// rate holds. 0 when the window is empty.
+	BurnRate float64 `json:"burn_rate"`
+	// TotalGood/TotalBad count observations over the tracker's
+	// lifetime (cleared only by Reset).
+	TotalGood int64 `json:"total_good"`
+	TotalBad  int64 `json:"total_bad"`
+}
+
+// SLO tracks a service-level objective as a windowed error-budget
+// burn rate. Feed it one boolean per unit of work — true when the
+// observation met the objective (request under the latency target,
+// probe rRMSE under the fidelity target) — and read BurnRate: the
+// window's error rate divided by the error budget (1 − objective).
+// A burn rate sustained at or above 1.0 means the objective is being
+// violated; control loops (the serve degradation ladder's Distrust,
+// the calibrator trigger) key off that threshold instead of raw point
+// gauges, so a single outlier sample cannot flap them.
+//
+// The window is a ring of time buckets summed on read; Observe is a
+// mutex-guarded few-word update, far off any per-MVM hot path (it is
+// meant for per-request / per-probe-sample cadence).
+type SLO struct {
+	name      string
+	objective float64
+	width     time.Duration // per-bucket width (Window / Buckets)
+	buckets   int
+	clock     func() time.Time
+
+	mu        sync.Mutex
+	slots     []sloSlot
+	totalGood int64
+	totalBad  int64
+}
+
+// sloSlot is one time bucket: unit is the absolute bucket index
+// (UnixNano / width); a slot is live only while its unit is within
+// the current window.
+type sloSlot struct {
+	unit      int64
+	good, bad int64
+}
+
+func newSLO(name string, cfg SLOConfig) *SLO {
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		panic(fmt.Sprintf("obs: SLO %q objective %g outside (0,1)", name, cfg.Objective))
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 60 * time.Second
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 30
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	width := cfg.Window / time.Duration(cfg.Buckets)
+	if width <= 0 {
+		width = time.Nanosecond
+	}
+	return &SLO{
+		name:      name,
+		objective: cfg.Objective,
+		width:     width,
+		buckets:   cfg.Buckets,
+		clock:     clock,
+		slots:     make([]sloSlot, cfg.Buckets),
+	}
+}
+
+// TrySLO returns the named SLO tracker, creating it on first use.
+// Re-registering the same name returns the existing tracker when the
+// objective matches (the window shape of the original wins);
+// otherwise an error wrapping ErrDuplicateName.
+func (r *Registry) TrySLO(name string, cfg SLOConfig) (*SLO, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.claimLocked(name, "slo"); err != nil {
+		return nil, err
+	}
+	if s, ok := r.slos[name]; ok {
+		if s.objective != cfg.Objective {
+			return nil, fmt.Errorf("%w: SLO %q re-registered with objective %g, have %g",
+				ErrDuplicateName, name, cfg.Objective, s.objective)
+		}
+		return s, nil
+	}
+	s := newSLO(name, cfg)
+	r.slos[name] = s
+	return s, nil
+}
+
+// SLO returns the named SLO tracker, creating it on first use; it
+// panics where TrySLO returns an error (and on an objective outside
+// (0,1)).
+func (r *Registry) SLO(name string, cfg SLOConfig) *SLO {
+	s, err := r.TrySLO(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSLO returns (creating if needed) the named SLO tracker of the
+// Default registry.
+func NewSLO(name string, cfg SLOConfig) *SLO { return std.SLO(name, cfg) }
+
+// Name returns the tracker's registered name.
+func (s *SLO) Name() string { return s.name }
+
+// Objective returns the target good fraction.
+func (s *SLO) Objective() float64 { return s.objective }
+
+// Observe records one observation: good when it met the objective.
+func (s *SLO) Observe(good bool) {
+	unit := s.clock().UnixNano() / int64(s.width)
+	i := int(unit % int64(s.buckets))
+	if i < 0 {
+		i += s.buckets
+	}
+	s.mu.Lock()
+	sl := &s.slots[i]
+	if sl.unit != unit {
+		sl.unit, sl.good, sl.bad = unit, 0, 0
+	}
+	if good {
+		sl.good++
+		s.totalGood++
+	} else {
+		sl.bad++
+		s.totalBad++
+	}
+	s.mu.Unlock()
+}
+
+// windowLocked sums the live slots. Callers hold s.mu.
+func (s *SLO) windowLocked(unit int64) (good, bad int64) {
+	min := unit - int64(s.buckets) + 1
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if sl.unit >= min && sl.unit <= unit {
+			good += sl.good
+			bad += sl.bad
+		}
+	}
+	return good, bad
+}
+
+// ErrorRate returns the window's bad fraction (0 when empty).
+func (s *SLO) ErrorRate() float64 {
+	unit := s.clock().UnixNano() / int64(s.width)
+	s.mu.Lock()
+	good, bad := s.windowLocked(unit)
+	s.mu.Unlock()
+	if good+bad == 0 {
+		return 0
+	}
+	return float64(bad) / float64(good+bad)
+}
+
+// BurnRate returns the window's error rate divided by the error
+// budget (1 − objective). 1.0 means the budget is being consumed
+// exactly at the sustainable rate; an empty window reports 0 (no
+// evidence of burn).
+func (s *SLO) BurnRate() float64 {
+	return s.ErrorRate() / (1 - s.objective)
+}
+
+// Snapshot returns the tracker's current state without clearing it.
+func (s *SLO) Snapshot() SLOSnapshot { return s.capture(false) }
+
+func (s *SLO) capture(clear bool) SLOSnapshot {
+	unit := s.clock().UnixNano() / int64(s.width)
+	s.mu.Lock()
+	good, bad := s.windowLocked(unit)
+	snap := SLOSnapshot{
+		Objective:     s.objective,
+		WindowSeconds: (s.width * time.Duration(s.buckets)).Seconds(),
+		WindowGood:    good,
+		WindowBad:     bad,
+		TotalGood:     s.totalGood,
+		TotalBad:      s.totalBad,
+	}
+	if clear {
+		for i := range s.slots {
+			s.slots[i] = sloSlot{}
+		}
+		s.totalGood, s.totalBad = 0, 0
+	}
+	s.mu.Unlock()
+	if good+bad > 0 {
+		snap.ErrorRate = float64(bad) / float64(good+bad)
+		snap.BurnRate = snap.ErrorRate / (1 - s.objective)
+	}
+	return snap
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for SLOConfig.Clock.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) time() time.Time         { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+func sloCfg(obj float64, c *fakeClock) SLOConfig {
+	return SLOConfig{Objective: obj, Window: time.Minute, Buckets: 6, Clock: c.time}
+}
+
+// Burn rate is the window error rate divided by the error budget:
+// with a 0.9 objective (10% budget), a 10% error rate burns at
+// exactly 1.0 and a 50% error rate at 5.0.
+func TestSLOBurnRateMath(t *testing.T) {
+	clock := newFakeClock()
+	s := newSLO("lat", sloCfg(0.9, clock))
+	for i := 0; i < 9; i++ {
+		s.Observe(true)
+	}
+	s.Observe(false)
+	if got := s.ErrorRate(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("error rate = %g, want 0.1", got)
+	}
+	if got := s.BurnRate(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("burn rate = %g, want 1.0 (budget consumed exactly at rate)", got)
+	}
+	for i := 0; i < 8; i++ {
+		s.Observe(false)
+	}
+	// 9 good / 9 bad → error 0.5 → burn 5.
+	if got := s.BurnRate(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("burn rate = %g, want 5", got)
+	}
+	snap := s.Snapshot()
+	if snap.WindowGood != 9 || snap.WindowBad != 9 || snap.TotalBad != 9 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if math.Abs(snap.BurnRate-5) > 1e-12 {
+		t.Errorf("snapshot burn rate = %g, want 5", snap.BurnRate)
+	}
+}
+
+// An empty window reports burn 0 — no evidence of burn — rather than
+// NaN or a stale rate.
+func TestSLOEmptyWindow(t *testing.T) {
+	s := newSLO("empty", sloCfg(0.99, newFakeClock()))
+	if got := s.BurnRate(); got != 0 {
+		t.Errorf("empty burn rate = %g, want 0", got)
+	}
+	snap := s.Snapshot()
+	if snap.ErrorRate != 0 || snap.BurnRate != 0 {
+		t.Errorf("empty snapshot rates = %g/%g, want 0/0", snap.ErrorRate, snap.BurnRate)
+	}
+}
+
+// Observations age out as the window slides: a burst of failures must
+// stop contributing once the clock moves a full window past it.
+func TestSLOWindowSlides(t *testing.T) {
+	clock := newFakeClock()
+	s := newSLO("slide", sloCfg(0.9, clock))
+	for i := 0; i < 5; i++ {
+		s.Observe(false)
+	}
+	if got := s.ErrorRate(); got != 1 {
+		t.Fatalf("error rate = %g, want 1", got)
+	}
+	// Half a window later the burst is still in view.
+	clock.advance(30 * time.Second)
+	if got := s.ErrorRate(); got != 1 {
+		t.Errorf("error rate after half window = %g, want 1", got)
+	}
+	// A full window past the burst, it has aged out.
+	clock.advance(45 * time.Second)
+	if got := s.ErrorRate(); got != 0 {
+		t.Errorf("error rate after window slid past burst = %g, want 0", got)
+	}
+	// New observations land in reused slots without resurrecting the
+	// expired burst.
+	s.Observe(true)
+	snap := s.Snapshot()
+	if snap.WindowGood != 1 || snap.WindowBad != 0 {
+		t.Errorf("window after slide = good %d bad %d, want 1/0", snap.WindowGood, snap.WindowBad)
+	}
+	// Lifetime totals keep the whole history.
+	if snap.TotalGood != 1 || snap.TotalBad != 5 {
+		t.Errorf("totals = good %d bad %d, want 1/5", snap.TotalGood, snap.TotalBad)
+	}
+}
+
+// TrySLO is idempotent for a matching objective and refuses a
+// conflicting one with ErrDuplicateName.
+func TestTrySLODuplicate(t *testing.T) {
+	r := NewRegistry()
+	a, err := r.TrySLO("dup", SLOConfig{Objective: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.TrySLO("dup", SLOConfig{Objective: 0.95, Window: time.Hour})
+	if err != nil || b != a {
+		t.Errorf("matching re-registration: got %p err %v, want %p", b, err, a)
+	}
+	if _, err := r.TrySLO("dup", SLOConfig{Objective: 0.9}); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("objective mismatch: err = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestSLOObjectiveValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 0, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("objective %g: expected panic", bad)
+				}
+			}()
+			newSLO("bad", SLOConfig{Objective: bad})
+		}()
+	}
+}
+
+// SLO trackers ride the registry snapshot and are cleared by Reset
+// like every other metric.
+func TestSLORegistrySnapshotAndReset(t *testing.T) {
+	clock := newFakeClock()
+	r := NewRegistry()
+	s := r.SLO("reg.slo", sloCfg(0.9, clock))
+	s.Observe(true)
+	s.Observe(false)
+
+	snap := r.Snapshot().SLOs["reg.slo"]
+	if snap.WindowGood != 1 || snap.WindowBad != 1 {
+		t.Errorf("registry snapshot SLO = %+v", snap)
+	}
+	if math.Abs(snap.BurnRate-5) > 1e-12 { // error 0.5 / budget 0.1
+		t.Errorf("snapshot burn rate = %g, want 5", snap.BurnRate)
+	}
+	cleared := r.Reset().SLOs["reg.slo"]
+	if cleared.WindowBad != 1 || cleared.TotalBad != 1 {
+		t.Errorf("Reset returned %+v, want pre-reset window", cleared)
+	}
+	after := r.Snapshot().SLOs["reg.slo"]
+	if after.WindowGood != 0 || after.WindowBad != 0 || after.TotalGood != 0 {
+		t.Errorf("SLO not cleared by Reset: %+v", after)
+	}
+	if after.Objective != 0.9 {
+		t.Errorf("Reset lost the objective: %g", after.Objective)
+	}
+}

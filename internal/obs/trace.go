@@ -32,6 +32,16 @@ type Event struct {
 	// one inference forward pass). 0 means ungrouped. IDs come from
 	// NextTraceID.
 	Trace int64 `json:"trace_id,omitempty"`
+	// Span is this span's own ID and Parent the enclosing span's (0
+	// for roots), forming the parented span tree StartSpan builds.
+	// Spans recorded through RecordSpan/RecordSpanTID carry 0 for
+	// both — flat, as before.
+	Span   int64 `json:"span_id,omitempty"`
+	Parent int64 `json:"parent_id,omitempty"`
+	// Track optionally names the trace's display row (e.g.
+	// "tenant:acme"); set on root spans via StartRootSpan and emitted
+	// as Chrome thread_name metadata by WriteTrace.
+	Track string `json:"track,omitempty"`
 }
 
 // eventRing is a fixed-capacity overwrite-oldest span buffer. Slots

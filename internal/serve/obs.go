@@ -43,3 +43,28 @@ var (
 
 	mLatency = obs.NewHistogram("serve.latency_seconds", obs.LatencyBuckets)
 )
+
+// Dimensional (label-vec) handles. Children are resolved once per
+// tenant (cached on the tenantQueue) and once per tier (arrays built
+// in NewServer), so the request path touches only pre-resolved
+// scalar handles — the same 0-allocation contract as the flat
+// metrics. Tenant names are caller-controlled, so the vecs' built-in
+// cardinality cap applies: past it, new tenants aggregate into the
+// "_overflow" series and obs.labels.dropped counts the redirections.
+var (
+	// serve.tenant.requests{tenant,outcome}: terminal outcomes per
+	// tenant. Outcomes: ok, rejected, timeout, exhausted. (bad_input
+	// is not attributed: malformed JSON carries no trustworthy tenant.)
+	vTenantRequests = obs.NewCounterVec("serve.tenant.requests", "tenant", "outcome")
+	// serve.tenant.latency_seconds{tenant}: end-to-end request latency
+	// of 200 responses per tenant.
+	vTenantLatency = obs.NewHistogramVec("serve.tenant.latency_seconds", obs.LatencyBuckets, "tenant")
+	// serve.tier.latency_seconds{tier}: per-attempt execution latency
+	// by fidelity tier (replaces the former dynamic
+	// serve.tier.<name>.latency_seconds names).
+	vTierLatency = obs.NewHistogramVec("serve.tier.latency_seconds", obs.LatencyBuckets, "tier")
+	// serve.tier.shed{tier,reason}: ladder shed decisions by tier and
+	// reason (overload, drift, breaker, error), the dimensional
+	// counterpart of the flat serve.shed.* counters.
+	vTierShed = obs.NewCounterVec("serve.tier.shed", "tier", "reason")
+)

@@ -88,6 +88,19 @@ type Config struct {
 	Chaos *ChaosPolicy
 	// Seed seeds the per-request backoff jitter streams. Default 1.
 	Seed uint64
+	// LatencyTarget and LatencyObjective, when both set, arm the
+	// "serve.latency" SLO tracker: every terminal request outcome
+	// (except 400s, which are client errors) counts as good when it
+	// was a 200 served within LatencyTarget. LatencyObjective is the
+	// target good fraction in (0,1) — e.g. 0.99 with a 250ms target
+	// means "99% of requests answer correctly within 250ms"; the
+	// tracker's burn rate is exposed via LatencySLO and the obs
+	// snapshot/Prometheus exposition.
+	LatencyTarget    time.Duration
+	LatencyObjective float64
+	// LatencySLOWindow overrides the SLO's sliding window (default
+	// 60s).
+	LatencySLOWindow time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -131,11 +144,15 @@ type Server struct {
 	queued   atomic.Int64  // admitted but not yet executing, all tenants
 	breakers []*Breaker
 	tierLat  []*obs.Histogram
+	tierShed []tierShedSet
+	// slo, when armed (Config.LatencyTarget/LatencyObjective), tracks
+	// the serve latency objective as a windowed burn rate.
+	slo *obs.SLO
 	// maxVersion tracks the highest model version each tier has
 	// served, backing the ladder's version-monotonicity assertion.
 	maxVersion []atomic.Int64
 
-	tmu     sync.Mutex
+	tmu     sync.RWMutex
 	tenants map[string]*tenantQueue
 
 	rmu sync.Mutex
@@ -144,9 +161,24 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// tenantQueue tracks one tenant's share of the admission queue.
+// tenantQueue tracks one tenant's share of the admission queue plus
+// the tenant's pre-resolved dimensional metric handles, so the
+// request path never resolves vec children.
 type tenantQueue struct {
 	queued atomic.Int64
+	// track is the trace display row for this tenant's requests
+	// ("tenant:<name>"), precomputed so the root span allocates no
+	// strings.
+	track string
+	lat   *obs.Histogram
+	// Terminal-outcome counters (children of serve.tenant.requests).
+	okC, rejectedC, timeoutC, exhaustedC *obs.Counter
+}
+
+// tierShedSet holds one tier's pre-resolved shed-reason counters
+// (children of serve.tier.shed).
+type tierShedSet struct {
+	overload, drift, breaker, err *obs.Counter
 }
 
 // NewServer validates cfg, applies defaults, and registers the
@@ -174,13 +206,26 @@ func NewServer(cfg Config) (*Server, error) {
 		sem:        make(chan struct{}, cfg.MaxInFlight),
 		breakers:   make([]*Breaker, len(cfg.Tiers)),
 		tierLat:    make([]*obs.Histogram, len(cfg.Tiers)),
+		tierShed:   make([]tierShedSet, len(cfg.Tiers)),
 		maxVersion: make([]atomic.Int64, len(cfg.Tiers)),
 		tenants:    map[string]*tenantQueue{},
 		rng:        linalg.NewRNG(cfg.Seed),
 	}
 	for i, t := range cfg.Tiers {
 		s.breakers[i] = NewBreaker(cfg.BreakerTrip, cfg.BreakerCooldown)
-		s.tierLat[i] = obs.NewHistogram("serve.tier."+t.Name+".latency_seconds", obs.LatencyBuckets)
+		s.tierLat[i] = vTierLatency.With(t.Name)
+		s.tierShed[i] = tierShedSet{
+			overload: vTierShed.With(t.Name, "overload"),
+			drift:    vTierShed.With(t.Name, "drift"),
+			breaker:  vTierShed.With(t.Name, "breaker"),
+			err:      vTierShed.With(t.Name, "error"),
+		}
+	}
+	if cfg.LatencyTarget > 0 && cfg.LatencyObjective > 0 {
+		s.slo = obs.NewSLO("serve.latency", obs.SLOConfig{
+			Objective: cfg.LatencyObjective,
+			Window:    cfg.LatencySLOWindow,
+		})
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
@@ -194,6 +239,11 @@ func (s *Server) Config() Config { return s.cfg }
 // Breaker returns tier i's circuit breaker (tests inspect and
 // manipulate it).
 func (s *Server) Breaker(i int) *Breaker { return s.breakers[i] }
+
+// LatencySLO returns the "serve.latency" burn-rate tracker, or nil
+// when Config did not arm one. Operators key alerting — and
+// geniex-serve keys its own health reporting — off its BurnRate.
+func (s *Server) LatencySLO() *obs.SLO { return s.slo }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -253,11 +303,27 @@ func (s *Server) tenant(name string) *tenantQueue {
 	if name == "" {
 		name = "default"
 	}
+	// Read-lock fast path: after a tenant's first request every later
+	// one only shares the lock, so concurrent requests for distinct
+	// tenants never serialize here.
+	s.tmu.RLock()
+	t, ok := s.tenants[name]
+	s.tmu.RUnlock()
+	if ok {
+		return t
+	}
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
-	t, ok := s.tenants[name]
+	t, ok = s.tenants[name]
 	if !ok {
-		t = &tenantQueue{}
+		t = &tenantQueue{
+			track:      "tenant:" + name,
+			lat:        vTenantLatency.With(name),
+			okC:        vTenantRequests.With(name, "ok"),
+			rejectedC:  vTenantRequests.With(name, "rejected"),
+			timeoutC:   vTenantRequests.With(name, "timeout"),
+			exhaustedC: vTenantRequests.With(name, "exhausted"),
+		}
 		s.tenants[name] = t
 	}
 	return t
@@ -344,6 +410,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
+	tq := s.tenant(req.Tenant)
 
 	deadline := s.cfg.Deadline
 	if req.DeadlineMS > 0 {
@@ -355,33 +422,64 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
-	release, ok := s.admit(ctx, w, req.Tenant)
+	// Root span of the request's trace: everything below — forward,
+	// MVM, tile, batch solve — parents under it, and the trace lands
+	// on the tenant's display track in the Chrome export.
+	ctx, span := obs.StartRootSpan(ctx, "serve.request", tq.track)
+	defer span.End()
+
+	release, ok := s.admit(ctx, w, tq, start)
 	if !ok {
 		return // admit wrote the 429/504
 	}
 	defer release()
 
 	y, tier, shed, retries, err := s.execute(ctx, x)
-	mLatency.ObserveSince(start)
+	elapsed := time.Since(start)
+	if obs.Enabled() {
+		// The exemplar ties the latency bucket — in particular the slow
+		// tail — to this request's trace ID, so a scrape can jump from
+		// a bad percentile straight to the span tree in /trace.
+		mLatency.ObserveExemplar(elapsed.Seconds(), span.TraceID())
+	}
 	switch {
 	case err == nil:
 		mOK.Inc()
+		tq.okC.Inc()
+		if obs.Enabled() {
+			tq.lat.ObserveExemplar(elapsed.Seconds(), span.TraceID())
+		}
+		s.sloObserve(start, true)
 		writeJSON(w, http.StatusOK, InferResponse{
 			Tier:          s.cfg.Tiers[tier].Name,
 			RequestedTier: s.cfg.Tiers[0].Name,
 			Shed:          shed,
 			Retries:       retries,
 			Outputs:       rowsOf(y),
-			ElapsedMS:     float64(time.Since(start)) / float64(time.Millisecond),
+			ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
 			TierVersion:   s.tierVersion(tier),
 		})
 	case canceled(err):
 		mTimeout.Inc()
+		tq.timeoutC.Inc()
+		s.sloObserve(start, false)
 		writeRetryable(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error(), s.retryAfterHint())
 	default:
 		mExhausted.Inc()
+		tq.exhaustedC.Inc()
+		s.sloObserve(start, false)
 		writeRetryable(w, http.StatusServiceUnavailable, err.Error(), s.retryAfterHint())
 	}
+}
+
+// sloObserve feeds the latency SLO (when armed) with one terminal
+// outcome: good means the request was served (200) within the
+// configured latency target.
+func (s *Server) sloObserve(start time.Time, served bool) {
+	if s.slo == nil {
+		return
+	}
+	s.slo.Observe(served && time.Since(start) <= s.cfg.LatencyTarget)
 }
 
 // tierVersion samples tier i's model version (0 when the tier does
@@ -413,11 +511,12 @@ func (s *Server) tierVersion(i int) int64 {
 // rejection or timeout it writes the typed response and returns
 // ok=false; on success the caller owns an in-flight slot and must
 // call release.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string) (release func(), ok bool) {
-	tq := s.tenant(tenant)
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tq *tenantQueue, start time.Time) (release func(), ok bool) {
 	if tq.queued.Add(1) > int64(s.cfg.TenantQueue) {
 		tq.queued.Add(-1)
 		mRejected.Inc()
+		tq.rejectedC.Inc()
+		s.sloObserve(start, false)
 		writeRetryable(w, http.StatusTooManyRequests, "tenant queue full", s.cfg.Deadline/2)
 		return nil, false
 	}
@@ -445,6 +544,8 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tenant string
 	case <-ctx.Done():
 		dequeue()
 		mTimeout.Inc()
+		tq.timeoutC.Inc()
+		s.sloObserve(start, false)
 		writeRetryable(w, http.StatusGatewayTimeout, "deadline exceeded in admission queue", s.retryAfterHint())
 		return nil, false
 	}
@@ -465,16 +566,19 @@ func (s *Server) execute(ctx context.Context, x *linalg.Dense) (y *linalg.Dense,
 			if t := &s.cfg.Tiers[i]; t.ShedAt > 0 && s.loadFactor() >= t.ShedAt {
 				mShed.Inc()
 				mShedOverload.Inc()
+				s.tierShed[i].overload.Inc()
 				shed++
 				continue
 			} else if t.Distrust != nil && t.Distrust() {
 				mShed.Inc()
 				mShedDrift.Inc()
+				s.tierShed[i].drift.Inc()
 				shed++
 				continue
 			} else if !s.breakers[i].Allow() {
 				mShed.Inc()
 				mShedBreaker.Inc()
+				s.tierShed[i].breaker.Inc()
 				shed++
 				continue
 			}
@@ -492,6 +596,7 @@ func (s *Server) execute(ctx context.Context, x *linalg.Dense) (y *linalg.Dense,
 		if !floor {
 			mShed.Inc()
 			mShedError.Inc()
+			s.tierShed[i].err.Inc()
 			shed++
 		}
 	}

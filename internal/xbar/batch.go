@@ -354,6 +354,14 @@ func (s *BatchSolver) SolveReportIntoContext(ctx context.Context, out *linalg.De
 	start := obs.Now()
 	region := obs.StartRegion("xbar.batch")
 	defer region.End()
+	// One parented span per batch call (not per item): a traced request
+	// sees every slice evaluation as one "xbar.batch.solve" child under
+	// its tile span without flooding the span ring with per-item events.
+	if obs.TraceFromContext(ctx).Valid() {
+		var span obs.Span
+		ctx, span = obs.StartSpan(ctx, "xbar.batch.solve")
+		defer span.End()
+	}
 	rep := &BatchReport{Outcomes: make([]ItemOutcome, vs.Rows)}
 	workers := s.workers
 	if workers <= 0 {

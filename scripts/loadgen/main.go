@@ -1,7 +1,10 @@
 // Command loadgen drives geniex-serve with an open-loop request
 // stream and emits a machine-readable summary: per-status and
-// per-tier counts, retry/shed totals, latency percentiles, and the
-// 5xx count the smoke gate asserts on. Open-loop means requests fire
+// per-tier counts, retry/shed totals, overall and per-tenant latency
+// percentiles, and the 5xx count the smoke gate asserts on. The
+// per-tenant view (OK counts + percentiles over 200s) is the
+// client-side mirror of the server's serve.tenant.* metrics;
+// scripts/loadsmoke asserts the two agree. Open-loop means requests fire
 // on schedule regardless of how many are outstanding — the generator
 // does not back off when the server slows, which is exactly the
 // arrival pattern admission control exists for.
@@ -37,9 +40,22 @@ type summary struct {
 	FiveXX       int                `json:"fivexx"`
 	Transport    int                `json:"transport_errors"`
 	LatencyMS    map[string]float64 `json:"latency_ms"`
+	// Tenants is the client-side per-tenant view: request/OK counts
+	// and latency percentiles over served (200) responses only, so it
+	// is directly comparable with the server's
+	// serve.tenant.latency_seconds{tenant} histograms (loadsmoke
+	// asserts the two views agree).
+	Tenants map[string]tenantSummary `json:"tenants"`
+}
+
+type tenantSummary struct {
+	Requests  int                `json:"requests"`
+	OK        int                `json:"ok"`
+	LatencyMS map[string]float64 `json:"latency_ms"`
 }
 
 type result struct {
+	tenant  string
 	status  int
 	tier    string
 	retries int
@@ -106,13 +122,14 @@ func run(base string, qps float64, duration time.Duration, batch, tenants int, d
 		tenant := fmt.Sprintf("tenant-%d", n%tenants)
 		n++
 		wg.Add(1)
-		go func(payload []byte) {
+		go func(tenant string, payload []byte) {
 			defer wg.Done()
 			r := fire(client, base, payload)
+			r.tenant = tenant
 			mu.Lock()
 			results = append(results, r)
 			mu.Unlock()
-		}(body(tenant))
+		}(tenant, body(tenant))
 	}
 	wg.Wait()
 
@@ -174,13 +191,17 @@ func summarize(qps float64, duration time.Duration, results []result) summary {
 		StatusCounts: map[string]int{},
 		TierCounts:   map[string]int{},
 		LatencyMS:    map[string]float64{},
+		Tenants:      map[string]tenantSummary{},
 	}
 	var lats []time.Duration
+	servedLats := map[string][]time.Duration{}
 	for _, r := range results {
 		if r.err != nil {
 			s.Transport++
 			continue
 		}
+		ts := s.Tenants[r.tenant]
+		ts.Requests++
 		s.StatusCounts[fmt.Sprintf("%d", r.status)]++
 		if r.status >= 500 {
 			s.FiveXX++
@@ -189,19 +210,36 @@ func summarize(qps float64, duration time.Duration, results []result) summary {
 			s.TierCounts[r.tier]++
 			s.TotalRetries += r.retries
 			s.TotalShed += r.shed
+			ts.OK++
+			servedLats[r.tenant] = append(servedLats[r.tenant], r.latency)
 		}
+		s.Tenants[r.tenant] = ts
 		lats = append(lats, r.latency)
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		pct := func(p float64) float64 {
-			idx := int(p * float64(len(lats)-1))
-			return float64(lats[idx]) / float64(time.Millisecond)
-		}
-		s.LatencyMS["p50"] = pct(0.50)
-		s.LatencyMS["p90"] = pct(0.90)
-		s.LatencyMS["p99"] = pct(0.99)
-		s.LatencyMS["max"] = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	s.LatencyMS = percentiles(lats)
+	for tenant, tl := range servedLats {
+		ts := s.Tenants[tenant]
+		ts.LatencyMS = percentiles(tl)
+		s.Tenants[tenant] = ts
 	}
 	return s
+}
+
+// percentiles summarizes a latency sample as ms percentiles; empty
+// input yields an empty map.
+func percentiles(lats []time.Duration) map[string]float64 {
+	out := map[string]float64{}
+	if len(lats) == 0 {
+		return out
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / float64(time.Millisecond)
+	}
+	out["p50"] = pct(0.50)
+	out["p90"] = pct(0.90)
+	out["p99"] = pct(0.99)
+	out["max"] = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	return out
 }

@@ -1,0 +1,79 @@
+// Command obscatalog keeps DESIGN.md's metric catalog honest: it
+// greps every non-test Go file under cmd/ and internal/ for literal
+// obs metric registrations — obs.NewCounter("..."), the vec and SLO
+// variants, and the obs.New* forms on the Default registry — and
+// asserts each registered name appears somewhere in DESIGN.md. A
+// metric that ships without a catalog entry fails the gate, so the
+// catalog can never silently rot.
+//
+// Run it via `make obs-catalog-gate` (check.sh includes it).
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var registerRE = regexp.MustCompile(
+	`obs\.New(?:Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec|SLO)\(\s*"([^"]+)"`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obscatalog: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		return err
+	}
+	catalog := string(design)
+
+	names := map[string][]string{} // metric name → files registering it
+	for _, root := range []string{"cmd", "internal"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range registerRE.FindAllStringSubmatch(string(src), -1) {
+				names[m[1]] = append(names[m[1]], path)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("found no obs metric registrations under cmd/ and internal/ — the grep pattern has rotted")
+	}
+
+	var missing []string
+	for name, files := range names {
+		if !strings.Contains(catalog, name) {
+			sort.Strings(files)
+			missing = append(missing, fmt.Sprintf("%s (registered in %s)", name, strings.Join(files, ", ")))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("metrics registered but absent from the DESIGN.md catalog:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	fmt.Printf("obscatalog: PASS (%d registered metric names all cataloged in DESIGN.md)\n", len(names))
+	return nil
+}

@@ -5,8 +5,11 @@
 // well-formed and contains the live instrumentation the run must
 // produce — nonzero Newton-iteration, per-tile-latency, and
 // probe-divergence histograms — and that the emitted Chrome trace file
-// parses as JSON with at least one event. It exits 0 on success and 1
-// with a diagnosis otherwise.
+// parses as JSON with at least one event. It then re-scrapes the same
+// endpoint with ?format=prom and asserts the Prometheus text
+// exposition is well-formed (versioned content type, TYPE lines,
+// cumulative bucket series, parseable sample lines). It exits 0 on
+// success and 1 with a diagnosis otherwise.
 //
 // Run it via `make obs-smoke` (check.sh includes it).
 package main
@@ -16,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -137,7 +141,7 @@ func run(timeout time.Duration) error {
 			// The trace file lands after the evaluation finishes (the
 			// child writes it just before its metrics endpoint lingers).
 			if err := checkTrace(tracePath); err == nil {
-				return nil
+				return checkProm(url)
 			} else {
 				lastErr = err
 			}
@@ -173,6 +177,63 @@ func checkTrace(path string) error {
 	}
 	fmt.Printf("obssmoke: trace OK (%d events)\n", len(tr.TraceEvents))
 	return nil
+}
+
+// checkProm scrapes the same endpoint in Prometheus text exposition
+// form and asserts the output is well-formed: the versioned content
+// type, a TYPE line and cumulative bucket series for each required
+// histogram family (names sanitized to Prometheus conventions), and
+// no line that is neither a comment nor "name[{labels}] value".
+func checkProm(url string) error {
+	resp, err := http.Get(url + "?format=prom")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prom endpoint returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("prom endpoint served %q, want the versioned text exposition content type", ct)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		return err
+	}
+	text := body.String()
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRE.MatchString(line) {
+			return fmt.Errorf("prom line %d is malformed: %q", i+1, line)
+		}
+	}
+	for _, name := range required {
+		fam := promName(name)
+		if !strings.Contains(text, "# TYPE "+fam+" histogram") {
+			return fmt.Errorf("prom exposition lacks TYPE line for %s", fam)
+		}
+		if !strings.Contains(text, fam+`_bucket{le="+Inf"}`) && !strings.Contains(text, fam+"_bucket{") {
+			return fmt.Errorf("prom exposition lacks bucket series for %s", fam)
+		}
+	}
+	fmt.Println("obssmoke: prom exposition OK")
+	return nil
+}
+
+// promName mirrors the registry's name sanitization (dots become
+// underscores).
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 func scrape(url string) (*snapshot, error) {

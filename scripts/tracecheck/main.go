@@ -1,8 +1,12 @@
 // Command tracecheck validates a Chrome trace-event JSON file — the
 // output of `-trace-out` / obs.WriteTrace. It asserts the file parses,
-// holds at least one trace event, and every event carries a name, a
-// phase, and non-negative timestamps. It exits 0 on success and 1 with
-// a diagnosis otherwise.
+// holds at least one trace event, every event carries a name, a phase,
+// and non-negative timestamps, the envelope surfaces the span ring's
+// drop count, and the span tree is well-formed: every nonzero
+// parent_id refers to a span_id present in the file (the ring evicts
+// oldest-first and parents end after their children, so a retained
+// child's ancestors are always retained too). It exits 0 on success
+// and 1 with a diagnosis otherwise.
 //
 // Run it via `make trace-smoke` (check.sh includes it).
 package main
@@ -14,14 +18,19 @@ import (
 )
 
 type event struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
 }
 
 type trace struct {
 	TraceEvents []event `json:"traceEvents"`
+	// SpansDropped must be present (a pointer distinguishes a missing
+	// field from a zero): the envelope owns the ring's drop count so a
+	// truncated trace is visibly truncated.
+	SpansDropped *int64 `json:"spansDropped"`
 }
 
 func main() {
@@ -47,6 +56,13 @@ func run(path string) error {
 	if len(tr.TraceEvents) == 0 {
 		return fmt.Errorf("%s holds no trace events", path)
 	}
+	if tr.SpansDropped == nil {
+		return fmt.Errorf("%s lacks the spansDropped envelope field", path)
+	}
+	if *tr.SpansDropped < 0 {
+		return fmt.Errorf("%s reports negative spansDropped %d", path, *tr.SpansDropped)
+	}
+	spanIDs := map[int64]bool{}
 	for i, e := range tr.TraceEvents {
 		if e.Name == "" {
 			return fmt.Errorf("event %d has no name", i)
@@ -57,7 +73,37 @@ func run(path string) error {
 		if e.Ts < 0 || e.Dur < 0 {
 			return fmt.Errorf("event %d (%s) has negative ts=%g dur=%g", i, e.Name, e.Ts, e.Dur)
 		}
+		if id, ok := argID(e, "span_id"); ok {
+			spanIDs[id] = true
+		}
 	}
-	fmt.Printf("tracecheck: PASS (%s: %d events)\n", path, len(tr.TraceEvents))
+	parented := 0
+	for i, e := range tr.TraceEvents {
+		pid, ok := argID(e, "parent_id")
+		if !ok || pid == 0 {
+			continue
+		}
+		if !spanIDs[pid] {
+			return fmt.Errorf("event %d (%s) has parent_id %d with no matching span_id", i, e.Name, pid)
+		}
+		parented++
+	}
+	fmt.Printf("tracecheck: PASS (%s: %d events, %d parented, %d dropped)\n",
+		path, len(tr.TraceEvents), parented, *tr.SpansDropped)
 	return nil
+}
+
+// argID extracts an int64 span/parent ID from an event's args map
+// (JSON numbers decode as float64; the IDs are small counters, safely
+// inside float64's exact-integer range).
+func argID(e event, key string) (int64, bool) {
+	v, ok := e.Args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
 }
